@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` module regenerates one table or figure of the paper.  The
+``context`` fixture is session-scoped so the figures share profiled runs
+(exactly as the experiments package does); benchmark timings therefore
+measure the *incremental* cost of each experiment on a warm context, while
+the asserted values check the reproduction's shape.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+#: Scale used across the harness; tiny keeps the full suite to ~a minute.
+BENCH_SCALE = "tiny"
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext(BENCH_SCALE)

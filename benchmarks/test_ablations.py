@@ -1,0 +1,169 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* chaining vs basic SP — the paper's central scheduling claim,
+* spawn-flush cost sensitivity — why SSP "without special hardware
+  support" still pays an exception-like penalty per trigger,
+* fill-buffer size — the memory-parallelism resource both the OOO window
+  and the chaining threads compete for.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import BENCH_SCALE
+
+from repro.experiments import ExperimentContext
+from repro.sim import inorder_config, simulate
+from repro.tool import SSPPostPassTool, ToolOptions
+
+
+@pytest.fixture(scope="module")
+def mcf_run():
+    context = ExperimentContext(BENCH_SCALE)
+    return context.run("mcf")
+
+
+class TestChainingVsBasic:
+    """"Long-range prefetching using chaining triggers is the key to high
+    performance via speculative precomputation" (Section 1)."""
+
+    def test_chaining_beats_basic_only(self, benchmark, mcf_run):
+        def run_basic_only():
+            tool = SSPPostPassTool(ToolOptions(disable_chaining=True))
+            result = tool.adapt(mcf_run.program, mcf_run.profile)
+            stats = simulate(result.program,
+                             mcf_run.workload.build_heap(), "inorder")
+            return stats.cycles
+
+        basic_cycles = benchmark.pedantic(run_basic_only, rounds=1,
+                                          iterations=1)
+        chaining_cycles = mcf_run.cycles("inorder", "ssp")
+        base = mcf_run.cycles("inorder", "base")
+        assert base / basic_cycles > 1.0, "basic SP should still help"
+        assert chaining_cycles < basic_cycles, \
+            "chaining SP must beat basic SP on the arc-scan loop"
+
+
+class TestSpawnFlushCost:
+    """The chk.c pipeline-flush penalty bounds how often triggering pays
+    (Section 4.4.1 blames it for the small OOO gains)."""
+
+    def test_flush_cost_sweep(self, benchmark, mcf_run):
+        adapted = mcf_run.adapted_program
+
+        def run_sweep():
+            cycles = {}
+            for penalty in (0, 12, 96):
+                config = dataclasses.replace(inorder_config(),
+                                             chk_flush_penalty=penalty)
+                stats = simulate(adapted, mcf_run.workload.build_heap(),
+                                 "inorder", config=config)
+                cycles[penalty] = stats.cycles
+            return cycles
+
+        cycles = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+        # mcf has a single trigger, so sensitivity is small but monotone.
+        assert cycles[0] <= cycles[96]
+
+
+class TestFillBufferSize:
+    """Outstanding-miss parallelism is capped by the 16-entry fill buffer;
+    shrinking it throttles the chaining threads' prefetch rate."""
+
+    def test_fill_buffer_sweep(self, benchmark, mcf_run):
+        adapted = mcf_run.adapted_program
+
+        def run_sweep():
+            cycles = {}
+            for entries in (2, 16):
+                config = dataclasses.replace(inorder_config(),
+                                             fill_buffer_entries=entries)
+                stats = simulate(adapted, mcf_run.workload.build_heap(),
+                                 "inorder", config=config)
+                cycles[entries] = stats.cycles
+            return cycles
+
+        cycles = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+        assert cycles[2] > cycles[16], \
+            "a 2-entry fill buffer must serialise the chain's prefetches"
+
+
+class TestHyperThreadingContexts:
+    """Section 6 reports a follow-up on Pentium 4 Hyper-Threading (two
+    hardware contexts): SSP should still help with a single speculative
+    context, just less than with three."""
+
+    def test_two_context_machine(self, benchmark, mcf_run):
+        """A single speculative context cannot host a chain relay (the
+        spawner occupies the only context), so the HT configuration pairs
+        with basic SP — per-iteration triggers from the main thread —
+        exactly the adaptation style of the Hyper-Threading follow-up."""
+
+        def run_ht():
+            tool = SSPPostPassTool(ToolOptions(disable_chaining=True))
+            result = tool.adapt(mcf_run.program, mcf_run.profile)
+            config = dataclasses.replace(inorder_config(),
+                                         hardware_contexts=2)
+            stats = simulate(result.program,
+                             mcf_run.workload.build_heap(),
+                             "inorder", config=config)
+            return stats.cycles
+
+        ht_cycles = benchmark.pedantic(run_ht, rounds=1, iterations=1)
+        base = mcf_run.cycles("inorder", "base")
+        four = mcf_run.cycles("inorder", "ssp")
+        assert base / ht_cycles > 1.0, "SSP must help even with 1 context"
+        assert four <= ht_cycles, "3 speculative contexts >= 1 context"
+
+    def test_chaining_needs_two_spec_contexts(self, benchmark, mcf_run):
+        """The chaining binary degrades gracefully (to ~baseline) when
+        only one speculative context exists."""
+
+        def run_chain_on_ht():
+            config = dataclasses.replace(inorder_config(),
+                                         hardware_contexts=2)
+            return simulate(mcf_run.adapted_program,
+                            mcf_run.workload.build_heap(),
+                            "inorder", config=config).cycles
+
+        cycles = benchmark.pedantic(run_chain_on_ht, rounds=1,
+                                    iterations=1)
+        base = mcf_run.cycles("inorder", "base")
+        assert cycles <= base * 1.02  # never meaningfully slower
+
+
+class TestDynamicThrottle:
+    """The Section 4.4.1 future-work monitor: useless triggers get
+    suppressed; useful triggers are untouched."""
+
+    def test_throttle_on_useful_trigger_is_free(self, benchmark, mcf_run):
+        adapted = mcf_run.adapted_program
+
+        def run_throttled():
+            config = dataclasses.replace(inorder_config(),
+                                         dynamic_chk_throttle=True)
+            return simulate(adapted, mcf_run.workload.build_heap(),
+                            "inorder", config=config).cycles
+
+        throttled = benchmark.pedantic(run_throttled, rounds=1,
+                                       iterations=1)
+        assert throttled <= mcf_run.cycles("inorder", "ssp") * 1.02
+
+
+class TestToolPhases:
+    """Wall-time of the post-pass tool itself (it is a compiler pass; its
+    own cost matters)."""
+
+    def test_profile_phase(self, benchmark, mcf_run):
+        from repro.profiling import collect_profile
+        benchmark(collect_profile, mcf_run.program,
+                  mcf_run.workload.build_heap)
+
+    def test_adaptation_phase(self, benchmark, mcf_run):
+        profile = mcf_run.profile
+
+        def adapt():
+            return SSPPostPassTool().adapt(mcf_run.program, profile)
+
+        result = benchmark(adapt)
+        assert result.adapted is not None

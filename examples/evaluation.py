@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Reproduce the paper's full evaluation in one run.
+
+Regenerates Table 1, Figure 2, Table 2, Figure 8, Figure 9, Figure 10 and
+the Section 4.5 hand-vs-auto comparison, sharing simulations across
+experiments.  At ``--scale small`` this takes well under a minute; pass
+``--scale default`` for the larger configurations used in EXPERIMENTS.md.
+
+Run:  python examples/evaluation.py [--scale small|default]
+"""
+
+import argparse
+import time
+
+from repro.experiments import ExperimentContext, run_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "default"))
+    parser.add_argument("--charts", action="store_true",
+                        help="also render ASCII bar charts of Figures "
+                             "2 and 8")
+    args = parser.parse_args()
+
+    start = time.time()
+    context = ExperimentContext(args.scale)
+    results = run_all(scale=args.scale, context=context)
+    for result in results.values():
+        print()
+        print(result.format())
+    if args.charts:
+        from repro.experiments import render_bars
+        for name in ("figure2", "figure8"):
+            print()
+            print(render_bars(results[name]))
+    print(f"\ntotal wall time: {time.time() - start:.1f}s "
+          f"(scale={args.scale})")
+
+
+if __name__ == "__main__":
+    main()

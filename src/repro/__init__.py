@@ -1,0 +1,40 @@
+"""Reproduction of "Post-Pass Binary Adaptation for Software-Based
+Speculative Precomputation" (Liao et al., PLDI 2002).
+
+Top-level convenience API::
+
+    import repro
+
+    workload = repro.make_workload("mcf", scale="small")
+    program = workload.build_program()
+    profile = repro.collect_profile(program, workload.build_heap)
+    result = repro.SSPPostPassTool().adapt(program, profile)
+    stats = repro.simulate(result.program, workload.build_heap(),
+                           "inorder")
+
+Subpackages: ``repro.isa`` (the Itanium-like ISA), ``repro.sim`` (the SMT
+timing simulator), ``repro.profiling``, ``repro.analysis``,
+``repro.slicing``, ``repro.scheduling``, ``repro.triggers``,
+``repro.codegen``, ``repro.tool`` (the post-pass tool), ``repro.workloads``
+(the seven benchmarks) and ``repro.experiments`` (the paper's evaluation).
+"""
+
+from .profiling import collect_profile
+from .sim import inorder_config, ooo_config, simulate
+from .tool import SSPPostPassTool, ToolOptions
+from .workloads import PAPER_ORDER, make_workload, workload_names
+
+__version__ = "1.0.0"
+
+#: The paper being reproduced.
+PAPER = ("Liao, Wang, Wang, Hoflehner, Lavery, Shen: Post-Pass Binary "
+         "Adaptation for Software-Based Speculative Precomputation. "
+         "PLDI 2002. DOI 10.1145/512529.512544")
+
+__all__ = [
+    "collect_profile",
+    "inorder_config", "ooo_config", "simulate",
+    "SSPPostPassTool", "ToolOptions",
+    "PAPER_ORDER", "make_workload", "workload_names",
+    "PAPER", "__version__",
+]

@@ -1,0 +1,33 @@
+"""Program analyses: CFG, dominance, loops, dataflow, dependence, regions."""
+
+from .cfg import CFG, EXIT
+from .dominance import (
+    DominatorTree,
+    control_dependences,
+    dominator_tree,
+    postdominator_tree,
+)
+from .loops import Loop, find_loops, innermost_loop
+from .scc import condensation_order, strongly_connected_components
+from .dataflow import (
+    FunctionDataflow,
+    block_liveness,
+    instruction_defs,
+    instruction_uses,
+)
+from .depgraph import ANTI, CONTROL, FLOW, OUTPUT, DepEdge, DependenceGraph
+from .callgraph import CallGraph, CallSite
+from .regions import LOOP, PROCEDURE, Region, RegionGraph
+
+__all__ = [
+    "CFG", "EXIT",
+    "DominatorTree", "control_dependences", "dominator_tree",
+    "postdominator_tree",
+    "Loop", "find_loops", "innermost_loop",
+    "condensation_order", "strongly_connected_components",
+    "FunctionDataflow", "block_liveness", "instruction_defs",
+    "instruction_uses",
+    "ANTI", "CONTROL", "FLOW", "OUTPUT", "DepEdge", "DependenceGraph",
+    "CallGraph", "CallSite",
+    "LOOP", "PROCEDURE", "Region", "RegionGraph",
+]

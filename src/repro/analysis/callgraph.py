@@ -1,0 +1,130 @@
+"""Call graph with profile-resolved indirect calls.
+
+Static direct-call edges come from ``br.call``; indirect-call edges come
+from the dynamic call graph captured during profiling (Section 3.1.2: "we
+instrument all the indirect procedural calls to capture the call graph
+during profiling, and provide the result back to the slicing algorithm").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa.program import Program
+from .scc import strongly_connected_components
+
+
+class CallSite:
+    """One call instruction."""
+
+    __slots__ = ("uid", "caller", "callee", "indirect", "count")
+
+    def __init__(self, uid: int, caller: str, callee: Optional[str],
+                 indirect: bool, count: int = 0):
+        self.uid = uid
+        self.caller = caller
+        self.callee = callee      # None for unresolved indirect calls
+        self.indirect = indirect
+        self.count = count
+
+
+class CallGraph:
+    """Whole-program call graph."""
+
+    def __init__(self, program: Program,
+                 indirect_profile: Optional[Dict[int, Dict[str, int]]] = None):
+        """``indirect_profile`` maps an indirect call site's uid to observed
+        target counts, e.g. ``{uid: {"f": 10, "g": 2}}``."""
+        self.program = program
+        indirect_profile = indirect_profile or {}
+        self.sites: List[CallSite] = []
+        self._callees: Dict[str, Set[str]] = {
+            name: set() for name in program.functions}
+        self._callers: Dict[str, Set[str]] = {
+            name: set() for name in program.functions}
+        self.sites_in: Dict[str, List[CallSite]] = {
+            name: [] for name in program.functions}
+
+        for name, func in program.functions.items():
+            for instr in func.instructions():
+                if instr.op == "br.call":
+                    self._add_site(CallSite(instr.uid, name, instr.target,
+                                            indirect=False))
+                elif instr.op == "br.call.ind":
+                    targets = indirect_profile.get(instr.uid, {})
+                    if not targets:
+                        self._add_site(CallSite(instr.uid, name, None,
+                                                indirect=True))
+                    for target, count in targets.items():
+                        self._add_site(CallSite(instr.uid, name, target,
+                                                indirect=True, count=count))
+
+        sccs = strongly_connected_components(
+            list(program.functions), lambda f: self._callees.get(f, ()))
+        self._recursive: Set[str] = set()
+        for comp in sccs:
+            if len(comp) > 1:
+                self._recursive.update(comp)
+            elif comp and comp[0] in self._callees.get(comp[0], ()):
+                self._recursive.add(comp[0])
+
+    def _add_site(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.sites_in[site.caller].append(site)
+        if site.callee is not None:
+            self._callees[site.caller].add(site.callee)
+            self._callers.setdefault(site.callee, set()).add(site.caller)
+
+    # -- queries ------------------------------------------------------------------
+
+    def callees(self, name: str) -> Set[str]:
+        return self._callees.get(name, set())
+
+    def callers(self, name: str) -> Set[str]:
+        return self._callers.get(name, set())
+
+    def call_sites_of(self, caller: str,
+                      callee: Optional[str] = None) -> List[CallSite]:
+        sites = self.sites_in.get(caller, [])
+        if callee is None:
+            return sites
+        return [s for s in sites if s.callee == callee]
+
+    def is_recursive(self, name: str) -> bool:
+        """True if ``name`` participates in a call-graph cycle."""
+        return name in self._recursive
+
+    def reachable_from(self, name: str) -> Set[str]:
+        seen = {name}
+        work = [name]
+        while work:
+            f = work.pop()
+            for callee in self._callees.get(f, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    work.append(callee)
+        return seen
+
+    def call_paths_to(self, target: str, entry: Optional[str] = None,
+                      limit: int = 16) -> List[List[Tuple[str, int]]]:
+        """Acyclic call paths entry -> ... -> target as lists of
+        (caller, call-site uid); used to build calling contexts."""
+        entry = entry or self.program.entry
+        paths: List[List[Tuple[str, int]]] = []
+
+        def walk(func: str, acc: List[Tuple[str, int]],
+                 seen: Set[str]) -> None:
+            if len(paths) >= limit:
+                return
+            if func == target:
+                paths.append(list(acc))
+                return
+            for site in self.sites_in.get(func, []):
+                if site.callee is None or site.callee in seen:
+                    continue
+                acc.append((func, site.uid))
+                walk(site.callee, acc, seen | {site.callee})
+                acc.pop()
+
+        walk(entry, [], {entry})
+        return paths

@@ -1,0 +1,89 @@
+"""Control-flow graph view of a function.
+
+Wraps a :class:`repro.isa.program.Function` with predecessor/successor maps,
+a virtual exit node (so post-dominance is well defined for functions with
+several ``ret``/``halt``/``kill`` exits), and reachability helpers.  All
+later analyses (dominance, loops, regions, dependence) work on this view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..isa.program import Function
+
+#: Label of the virtual exit node.
+EXIT = "<exit>"
+
+
+class CFG:
+    """Intra-procedural control-flow graph at basic-block granularity."""
+
+    def __init__(self, func: Function):
+        self.func = func
+        self.entry = func.entry.label
+        self.labels: List[str] = [b.label for b in func.blocks]
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {label: [] for label in self.labels}
+        self.preds[EXIT] = []
+        for block in func.blocks:
+            succ = func.successors(block)
+            if not succ:
+                succ = [EXIT]
+            self.succs[block.label] = succ
+            for s in succ:
+                self.preds.setdefault(s, []).append(block.label)
+        self.succs[EXIT] = []
+
+    @property
+    def nodes(self) -> List[str]:
+        """All nodes including the virtual exit."""
+        return self.labels + [EXIT]
+
+    def successors(self, label: str) -> List[str]:
+        return self.succs[label]
+
+    def predecessors(self, label: str) -> List[str]:
+        return self.preds.get(label, [])
+
+    def reachable(self) -> Set[str]:
+        """Labels reachable from the entry."""
+        seen = {self.entry}
+        work = [self.entry]
+        while work:
+            node = work.pop()
+            for succ in self.succs.get(node, []):
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    def reverse_postorder(self) -> List[str]:
+        """Reverse postorder over reachable nodes (entry first)."""
+        seen: Set[str] = set()
+        order: List[str] = []
+
+        def visit(start: str) -> None:
+            stack = [(start, iter(self.succs.get(start, [])))]
+            seen.add(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.succs.get(succ, []))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def edges(self) -> Iterable[tuple]:
+        for src, dsts in self.succs.items():
+            for dst in dsts:
+                yield src, dst

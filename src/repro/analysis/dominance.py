@@ -1,0 +1,139 @@
+"""Dominator / post-dominator trees and control dependence.
+
+Uses the Cooper–Harvey–Kennedy iterative algorithm on reverse postorder.
+Control dependence follows Ferrante–Ottenstein–Warren: a block *B* is
+control dependent on branch block *A* iff *B* post-dominates some successor
+of *A* but does not post-dominate *A* itself — computed here directly from
+the post-dominator tree.
+
+The trigger-placement pass (Section 3.3) uses dominance ("we only consider
+the nodes that control-dominate the delinquent loads as potential trigger
+points") and the dependence graph uses control-dependence edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .cfg import CFG, EXIT
+
+
+class DominatorTree:
+    """Immediate-dominator tree over a CFG-like graph."""
+
+    def __init__(self, entry: str, order: List[str],
+                 preds: Dict[str, List[str]]):
+        self.entry = entry
+        self.idom: Dict[str, Optional[str]] = {entry: entry}
+        index = {node: i for i, node in enumerate(order)}
+        changed = True
+        while changed:
+            changed = False
+            for node in order:
+                if node == entry:
+                    continue
+                new_idom = None
+                for pred in preds.get(node, []):
+                    if pred not in self.idom or pred not in index:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(pred, new_idom, index)
+                if new_idom is not None and \
+                        self.idom.get(node) != new_idom:
+                    self.idom[node] = new_idom
+                    changed = True
+        self.idom[entry] = None
+
+    def _intersect(self, a: str, b: str, index: Dict[str, int]) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = self.idom[a]
+            while index[b] > index[a]:
+                b = self.idom[b]
+        return a
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexive)."""
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def dominators_of(self, node: str) -> List[str]:
+        """All dominators of ``node``, innermost first."""
+        out: List[str] = []
+        cur: Optional[str] = node
+        while cur is not None:
+            out.append(cur)
+            cur = self.idom.get(cur)
+        return out
+
+
+def dominator_tree(cfg: CFG) -> DominatorTree:
+    """Dominator tree of ``cfg`` (virtual exit excluded)."""
+    order = cfg.reverse_postorder()
+    return DominatorTree(cfg.entry, order, cfg.preds)
+
+
+def postdominator_tree(cfg: CFG) -> DominatorTree:
+    """Post-dominator tree of ``cfg``, rooted at the virtual exit."""
+    # Reverse the graph: preds become succs.
+    succs_rev: Dict[str, List[str]] = {n: list(cfg.predecessors(n))
+                                       for n in cfg.nodes}
+    # Reverse postorder of the reverse graph, from EXIT.
+    seen: Set[str] = set()
+    order: List[str] = []
+
+    def visit(start: str) -> None:
+        stack = [(start, iter(succs_rev.get(start, [])))]
+        seen.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, iter(succs_rev.get(nxt, []))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+
+    visit(EXIT)
+    order.reverse()
+    preds_rev: Dict[str, List[str]] = {n: list(cfg.successors(n))
+                                       for n in cfg.labels}
+    preds_rev[EXIT] = []
+    return DominatorTree(EXIT, order, preds_rev)
+
+
+def control_dependences(cfg: CFG) -> Dict[str, Set[str]]:
+    """Map block label -> labels of blocks it is control dependent on.
+
+    Only blocks with more than one CFG successor can be control-dependence
+    sources (conditional branches).
+    """
+    pdom = postdominator_tree(cfg)
+    result: Dict[str, Set[str]] = {label: set() for label in cfg.labels}
+    for a in cfg.labels:
+        succs = cfg.successors(a)
+        if len(succs) < 2:
+            continue
+        for succ in succs:
+            # Walk the post-dominator tree from succ up to (exclusive)
+            # ipdom(a); everything on the way is control dependent on a.
+            stop = pdom.idom.get(a)
+            node: Optional[str] = succ
+            while node is not None and node != stop and node != EXIT:
+                if node != a:
+                    result.setdefault(node, set()).add(a)
+                elif node == a:
+                    # Loop: a controls itself (back edge to the branch).
+                    result[a].add(a)
+                node = pdom.idom.get(node)
+    return result

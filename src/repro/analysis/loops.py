@@ -1,0 +1,92 @@
+"""Natural-loop detection and the loop nesting forest.
+
+A back edge is an edge ``n -> h`` whose head ``h`` dominates its tail; the
+natural loop of the back edge is ``h`` plus every node that reaches ``n``
+without passing through ``h``.  Loops sharing a header are merged.  The
+region graph (Section 3.1.1) is built from this forest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .cfg import CFG, EXIT
+from .dominance import DominatorTree, dominator_tree
+
+
+class Loop:
+    """One natural loop."""
+
+    def __init__(self, header: str, body: Set[str]):
+        self.header = header
+        #: All block labels in the loop, including the header.
+        self.body = body
+        self.parent: Optional["Loop"] = None
+        self.children: List["Loop"] = []
+
+    @property
+    def depth(self) -> int:
+        depth, cur = 1, self.parent
+        while cur is not None:
+            depth += 1
+            cur = cur.parent
+        return depth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Loop(header={self.header!r}, {len(self.body)} blocks)"
+
+
+def find_loops(cfg: CFG, dom: Optional[DominatorTree] = None) -> List[Loop]:
+    """All natural loops of ``cfg``, with the nesting forest linked up.
+
+    Returns loops ordered outermost-first.
+    """
+    dom = dom or dominator_tree(cfg)
+    reachable = cfg.reachable()
+    bodies: Dict[str, Set[str]] = {}
+    for tail in cfg.labels:
+        if tail not in reachable:
+            continue
+        for head in cfg.successors(tail):
+            if head == EXIT or head not in reachable:
+                continue
+            if dom.dominates(head, tail):
+                body = bodies.setdefault(head, {head})
+                _grow_loop(cfg, head, tail, body)
+
+    loops = [Loop(header, body) for header, body in bodies.items()]
+    # Nesting: loop A is inside loop B iff A's header is in B's body and
+    # A != B; choose the smallest enclosing body as the parent.
+    for loop in loops:
+        candidates = [other for other in loops
+                      if other is not loop and loop.header in other.body
+                      and loop.body <= other.body]
+        if candidates:
+            parent = min(candidates, key=lambda l: len(l.body))
+            loop.parent = parent
+            parent.children.append(loop)
+    loops.sort(key=lambda l: l.depth)
+    return loops
+
+
+def _grow_loop(cfg: CFG, header: str, tail: str, body: Set[str]) -> None:
+    """Add to ``body`` all nodes reaching ``tail`` without passing header."""
+    stack = [tail]
+    while stack:
+        node = stack.pop()
+        if node in body:
+            continue
+        body.add(node)
+        for pred in cfg.predecessors(node):
+            if pred not in body:
+                stack.append(pred)
+
+
+def innermost_loop(loops: List[Loop], label: str) -> Optional[Loop]:
+    """The innermost loop containing block ``label``, if any."""
+    best: Optional[Loop] = None
+    for loop in loops:
+        if label in loop.body:
+            if best is None or len(loop.body) < len(best.body):
+                best = loop
+    return best

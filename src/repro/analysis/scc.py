@@ -1,0 +1,82 @@
+"""Strongly connected components (iterative Tarjan).
+
+Used by the chaining-SP scheduler's graph-partitioning phase
+(Section 3.2.1.2.1): "We use the strongly connected components (SCC)
+algorithm to partition a dependence graph ... our heuristics schedules all
+instructions in an SCC first before scheduling instructions in another
+SCC."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List
+
+
+def strongly_connected_components(
+        nodes: Iterable[Hashable],
+        successors: Callable[[Hashable], Iterable[Hashable]]
+) -> List[List[Hashable]]:
+    """Tarjan's algorithm, iterative (no recursion-limit issues).
+
+    Returns SCCs in reverse topological order (callees/leaves first), each
+    as a list of nodes.  A single node with no self-edge forms a degenerate
+    SCC of size one.
+    """
+    index: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Dict[Hashable, bool] = {}
+    stack: List[Hashable] = []
+    result: List[List[Hashable]] = []
+    counter = [0]
+
+    def strongconnect(root: Hashable) -> None:
+        work = [(root, iter(successors(root)))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(successors(succ))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    if index[succ] < lowlink[node]:
+                        lowlink[node] = index[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index[node]:
+                comp: List[Hashable] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == node:
+                        break
+                result.append(comp)
+
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return result
+
+
+def condensation_order(sccs: List[List[Hashable]]) -> Dict[Hashable, int]:
+    """Map each node to its SCC index (indices in reverse topo order)."""
+    out: Dict[Hashable, int] = {}
+    for i, comp in enumerate(sccs):
+        for node in comp:
+            out[node] = i
+    return out

@@ -1,0 +1,20 @@
+"""SSP-enabled code generation (Section 3.4.2)."""
+
+from .liveins import LiveInLayout
+from .emit import (
+    SPEC_CLONE_SUFFIX,
+    AdaptedBinary,
+    EmitError,
+    SliceRecord,
+    SSPEmitter,
+)
+from .verify import (
+    VerificationError,
+    is_well_formed,
+    verify_adapted_binary,
+)
+
+__all__ = ["LiveInLayout", "SPEC_CLONE_SUFFIX", "AdaptedBinary",
+           "EmitError", "SliceRecord", "SSPEmitter",
+           "VerificationError", "is_well_formed",
+           "verify_adapted_binary"]

@@ -1,0 +1,33 @@
+"""The paper's evaluation, reproduced: one module per table/figure."""
+
+from .context import ExperimentContext, ExperimentResult, WorkloadRun
+from .charts import render_bars, render_stacked
+from . import figure2, figure8, figure9, figure10, hand_vs_auto
+from . import table1, table2
+
+#: experiment id -> runner, for the CLI and the benchmark harness.
+ALL_EXPERIMENTS = {
+    "table1": table1.run,
+    "figure2": figure2.run,
+    "table2": table2.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "hand_vs_auto": hand_vs_auto.run,
+}
+
+
+def run_all(scale: str = "small", context=None):
+    """Run every experiment, sharing one context; returns id -> result."""
+    context = context or ExperimentContext(scale)
+    return {name: runner(context=context, scale=scale)
+            for name, runner in ALL_EXPERIMENTS.items()}
+
+
+__all__ = [
+    "ExperimentContext", "ExperimentResult", "WorkloadRun",
+    "render_bars", "render_stacked",
+    "ALL_EXPERIMENTS", "run_all",
+    "table1", "table2", "figure2", "figure8", "figure9", "figure10",
+    "hand_vs_auto",
+]

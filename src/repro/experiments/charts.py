@@ -1,0 +1,103 @@
+"""ASCII bar-chart rendering for the reproduced figures.
+
+The paper's figures are bar charts; ``render_bars`` turns an
+:class:`ExperimentResult` whose numeric columns are bar heights into an
+ASCII chart, so ``examples/evaluation.py --charts`` shows the same visual
+shapes the paper prints (who wins, by roughly what factor, where
+crossovers fall) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .context import ExperimentResult
+
+BAR = "█"
+HALF = "▌"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    cells = value / scale * width if scale else 0
+    full = int(cells)
+    text = BAR * full
+    if cells - full >= 0.5:
+        text += HALF
+    return text
+
+
+def render_bars(result: ExperimentResult,
+                value_columns: Optional[Sequence[int]] = None,
+                label_columns: Optional[Sequence[int]] = None,
+                width: int = 40) -> str:
+    """Render selected numeric columns of ``result`` as grouped bars.
+
+    ``value_columns`` defaults to every float column; ``label_columns``
+    to every non-numeric leading column.
+    """
+    if not result.rows:
+        return result.title + "\n(no data)"
+    first = result.rows[0]
+    if value_columns is None:
+        value_columns = [i for i, cell in enumerate(first)
+                         if isinstance(cell, (int, float))
+                         and not isinstance(cell, bool)]
+    if label_columns is None:
+        label_columns = [i for i in range(len(first))
+                         if i not in value_columns
+                         and isinstance(first[i], str)]
+    peak = max((row[i] for row in result.rows for i in value_columns
+                if isinstance(row[i], (int, float))), default=1.0)
+
+    label_width = max(
+        (len(" ".join(str(row[i]) for i in label_columns))
+         for row in result.rows), default=4)
+    header_width = max(len(result.headers[i]) for i in value_columns)
+
+    lines = [result.title, "=" * len(result.title)]
+    for row in result.rows:
+        label = " ".join(str(row[i]) for i in label_columns)
+        for j, i in enumerate(value_columns):
+            value = row[i]
+            if not isinstance(value, (int, float)):
+                continue
+            prefix = label.ljust(label_width) if j == 0 else \
+                " " * label_width
+            name = result.headers[i].ljust(header_width)
+            lines.append(f"{prefix}  {name} "
+                         f"{_bar(value, peak, width):<{width}} "
+                         f"{value:.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_stacked(result: ExperimentResult,
+                   value_columns: Sequence[int],
+                   label_columns: Sequence[int],
+                   glyphs: str = "▓▒░█▞·",
+                   width: int = 60,
+                   total: Optional[float] = None) -> str:
+    """Render rows as stacked horizontal bars (Figure 9/10 style).
+
+    Each value column becomes one segment; segment lengths are
+    proportional to their values against ``total`` (default: the largest
+    row sum).
+    """
+    sums = [sum(row[i] for i in value_columns) for row in result.rows]
+    scale = total if total is not None else max(sums, default=1.0)
+    label_width = max(
+        (len(" ".join(str(row[i]) for i in label_columns))
+         for row in result.rows), default=4)
+    lines = [result.title, "=" * len(result.title)]
+    legend = "  ".join(f"{glyphs[k % len(glyphs)]}={result.headers[i]}"
+                       for k, i in enumerate(value_columns))
+    lines.append(legend)
+    for row, row_sum in zip(result.rows, sums):
+        label = " ".join(str(row[i]) for i in label_columns)
+        bar: List[str] = []
+        for k, i in enumerate(value_columns):
+            cells = int(round(row[i] / scale * width)) if scale else 0
+            bar.append(glyphs[k % len(glyphs)] * cells)
+        lines.append(f"{label.ljust(label_width)} |{''.join(bar)}| "
+                     f"{row_sum:.1f}")
+    return "\n".join(lines)

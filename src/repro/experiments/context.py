@@ -1,0 +1,170 @@
+"""Shared experiment infrastructure.
+
+Running the paper's evaluation means simulating every benchmark under many
+configurations (baseline/SSP × in-order/OOO × perfect-memory variants).
+:class:`ExperimentContext` memoises everything per (workload, scale):
+profile, tool adaptation, and each simulation run — so Figure 8, Figure 9
+and Figure 10 share the same underlying runs instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.program import Program
+from ..profiling.collect import collect_profile
+from ..profiling.profile import ProgramProfile
+from ..sim.config import MachineConfig, inorder_config, ooo_config
+from ..sim.machine import simulate
+from ..sim.stats import SimStats
+from ..tool.postpass import SSPPostPassTool, ToolOptions, ToolResult
+from ..workloads import PAPER_ORDER, make_workload
+
+#: Simulation variants understood by :meth:`WorkloadRun.stats`.
+VARIANTS = ("base", "ssp", "perfect_mem", "perfect_dloads", "hand")
+
+
+class WorkloadRun:
+    """All artifacts for one benchmark at one scale, lazily built."""
+
+    def __init__(self, name: str, scale: str,
+                 tool_options: Optional[ToolOptions] = None):
+        self.name = name
+        self.scale = scale
+        self.workload = make_workload(name, scale)
+        self.program: Program = self.workload.build_program()
+        self.tool_options = tool_options
+        self._profile: Optional[ProgramProfile] = None
+        self._tool_result: Optional[ToolResult] = None
+        self._hand_program: Optional[Program] = None
+        self._stats: Dict[Tuple[str, str], SimStats] = {}
+
+    # -- artifacts -----------------------------------------------------------------
+
+    @property
+    def profile(self) -> ProgramProfile:
+        if self._profile is None:
+            self._profile = collect_profile(self.program,
+                                            self.workload.build_heap)
+        return self._profile
+
+    @property
+    def tool_result(self) -> ToolResult:
+        if self._tool_result is None:
+            tool = SSPPostPassTool(self.tool_options)
+            self._tool_result = tool.adapt(self.program, self.profile)
+        return self._tool_result
+
+    @property
+    def adapted_program(self) -> Program:
+        return self.tool_result.program
+
+    @property
+    def delinquent_uids(self) -> List[int]:
+        return self.tool_result.delinquent_uids
+
+    @property
+    def hand_program(self) -> Program:
+        """The hand-adapted binary (mcf and health only, Section 4.5)."""
+        if self._hand_program is None:
+            hand = make_workload(self.name + ".hand", self.scale)
+            self._hand_program = hand.build_program()
+            self._hand_workload = hand
+        return self._hand_program
+
+    # -- simulation ------------------------------------------------------------------
+
+    def _config(self, model: str, variant: str) -> MachineConfig:
+        config = inorder_config() if model == "inorder" else ooo_config()
+        if variant == "perfect_mem":
+            config = config.with_perfect_memory()
+        elif variant == "perfect_dloads":
+            config = config.with_perfect_loads(self.delinquent_uids)
+        return config
+
+    def stats(self, model: str, variant: str = "base") -> SimStats:
+        """Memoised simulation of one (model, variant) configuration."""
+        key = (model, variant)
+        if key in self._stats:
+            return self._stats[key]
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}")
+        if variant == "ssp":
+            program, spawning = self.adapted_program, True
+            heap = self.workload.build_heap()
+        elif variant == "hand":
+            program, spawning = self.hand_program, True
+            heap = self._hand_workload.build_heap()
+        else:
+            program, spawning = self.program, False
+            heap = self.workload.build_heap()
+        result = simulate(program, heap, model,
+                          config=self._config(model, variant),
+                          spawning=spawning)
+        if variant in ("base", "ssp"):
+            self.workload.check_output(heap)
+        self._stats[key] = result
+        return result
+
+    def cycles(self, model: str, variant: str = "base") -> int:
+        return self.stats(model, variant).cycles
+
+    def speedup(self, model: str, variant: str,
+                over: Tuple[str, str] = ("inorder", "base")) -> float:
+        """Speedup of (model, variant) over a reference configuration."""
+        return self.cycles(*over) / self.cycles(model, variant)
+
+
+class ExperimentContext:
+    """Memoised workload runs shared across experiment harnesses."""
+
+    def __init__(self, scale: str = "small",
+                 tool_options: Optional[ToolOptions] = None):
+        self.scale = scale
+        self.tool_options = tool_options
+        self._runs: Dict[str, WorkloadRun] = {}
+
+    def run(self, name: str) -> WorkloadRun:
+        if name not in self._runs:
+            self._runs[name] = WorkloadRun(name, self.scale,
+                                           self.tool_options)
+        return self._runs[name]
+
+    def runs(self, names: Optional[List[str]] = None) -> List[WorkloadRun]:
+        return [self.run(n) for n in (names or PAPER_ORDER)]
+
+
+class ExperimentResult:
+    """A reproduced table/figure: headers + rows + formatting."""
+
+    def __init__(self, title: str, headers: List[str],
+                 rows: List[List], notes: str = ""):
+        self.title = title
+        self.headers = headers
+        self.rows = rows
+        self.notes = notes
+
+    def format(self) -> str:
+        def fmt(cell) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.2f}"
+            return str(cell)
+
+        table = [self.headers] + [[fmt(c) for c in row]
+                                  for row in self.rows]
+        widths = [max(len(row[i]) for row in table)
+                  for i in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        for r, row in enumerate(table):
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+            if r == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def row_map(self) -> Dict[str, List]:
+        """Rows keyed by their first column (benchmark name)."""
+        return {row[0]: row for row in self.rows}

@@ -1,0 +1,47 @@
+"""Section 4.5 — automatic vs. hand adaptation on mcf and health.
+
+"On an in-order processor, hand-adaptation achieves a speedup of 73% on
+mcf, while the post-pass tool achieves 37% ... For the health benchmark,
+the enhanced binary from SSP achieves 103% speedup on the in-order
+processor, while hand adaptation achieves a speedup of 130%."
+
+The reproduction compares the tool's output against the hand-adapted
+binaries of :mod:`repro.workloads.hand` on both machine models.  One
+expected deviation, documented in EXPERIMENTS.md: our tool automates a
+one-level recursive-context substitution that the 2002 tool lacked, so on
+health the automatic adaptation is close to (rather than clearly behind)
+the hand adaptation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .context import ExperimentContext, ExperimentResult
+
+HAND_BENCHMARKS = ["mcf", "health"]
+
+
+def run(context: Optional[ExperimentContext] = None, scale: str = "small",
+        benchmarks: Optional[List[str]] = None) -> ExperimentResult:
+    context = context or ExperimentContext(scale)
+    rows = []
+    for name in benchmarks or HAND_BENCHMARKS:
+        wr = context.run(name)
+        for model in ("inorder", "ooo"):
+            base = wr.cycles(model, "base")
+            auto = base / wr.cycles(model, "ssp")
+            hand = base / wr.cycles(model, "hand")
+            rows.append([name, model, auto, hand, auto / hand])
+    return ExperimentResult(
+        title="Section 4.5: automatic vs. hand adaptation",
+        headers=["benchmark", "model", "auto speedup", "hand speedup",
+                 "auto/hand"],
+        rows=rows,
+        notes="Paper (in-order): mcf hand 1.73x vs auto 1.37x; health hand "
+              "2.30x vs auto 2.03x.  OOO: health hand 3.0x vs auto 2.2x.",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

@@ -1,0 +1,24 @@
+"""Table 1 — the modelled research Itanium processor.
+
+Not an experiment per se: prints the machine-model parameters the
+simulator implements, in the paper's table format, so a reader can check
+the configuration against the paper row by row.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import table1_rows
+from .context import ExperimentResult
+
+
+def run(context=None, scale=None) -> ExperimentResult:
+    rows = [[param, value] for param, value in table1_rows()]
+    return ExperimentResult(
+        title="Table 1: Modeled Research Itanium Processor",
+        headers=["Parameter", "Value"],
+        rows=rows,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

@@ -1,0 +1,148 @@
+"""Textual assembler/disassembler round-trip for IR programs.
+
+``Program.disassemble()`` produces a readable listing; this module parses
+that exact format back into a :class:`Program`, so adapted binaries can be
+saved to and loaded from ``.s`` files — the post-pass tool's input and
+output are then real on-disk artifacts, like the paper's binaries.
+
+Grammar (one construct per line; ``;`` starts a comment)::
+
+    .func NAME (N params)
+    label:
+    [ (pN) ] OPCODE [operands]
+
+Operand order follows the disassembler: destination first, then sources,
+then an immediate, then a control-flow target.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from . import registers as regs
+from .instructions import ALL_OPS, ALU_OPS, CMP_RELATIONS, Instruction
+from .program import Program
+
+
+class AsmError(Exception):
+    """Raised on unparsable assembly text."""
+
+
+_FUNC_RE = re.compile(r"^\.func\s+(\S+)\s*(?:\((\d+)\s+params?\))?$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_PRED_RE = re.compile(r"^\((p\d+)\)")
+_ADDR_RE = re.compile(r"^\d+\s+")
+
+
+def _is_register(token: str) -> bool:
+    return regs.is_int_register(token) or regs.is_pred_register(token)
+
+
+def _parse_operands(op: str, relation: Optional[str],
+                    tokens: List[str], line_no: int) -> Instruction:
+    dest: Optional[str] = None
+    srcs: List[str] = []
+    imm: Optional[int] = None
+    target: Optional[str] = None
+
+    #: ops whose first operand is a destination register.
+    has_dest = (op in ALU_OPS or op in ("mov", "ld", "lib.ld")
+                or op == "cmp")
+
+    rest = list(tokens)
+    if has_dest:
+        if not rest or not _is_register(rest[0]):
+            raise AsmError(f"line {line_no}: {op} needs a destination")
+        dest = rest.pop(0)
+    for token in rest:
+        if _is_register(token):
+            srcs.append(token)
+        elif re.fullmatch(r"-?\d+", token) or \
+                re.fullmatch(r"0x[0-9a-fA-F]+", token):
+            if imm is not None:
+                raise AsmError(
+                    f"line {line_no}: multiple immediates in {op}")
+            imm = int(token, 0)
+        else:
+            if target is not None:
+                raise AsmError(f"line {line_no}: multiple targets in {op}")
+            target = token
+    try:
+        return Instruction(op=op, dest=dest, srcs=tuple(srcs), imm=imm,
+                           target=target, relation=relation)
+    except ValueError as exc:
+        raise AsmError(f"line {line_no}: {exc}") from exc
+
+
+def parse_assembly(text: str, entry: str = "main") -> Program:
+    """Parse a disassembly listing back into a finalisable Program."""
+    program = Program(entry=entry)
+    func = None
+    block = None
+    pending_label: Optional[str] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        match = _FUNC_RE.match(line)
+        if match:
+            name = match.group(1)
+            nparams = int(match.group(2) or 0)
+            func = program.add_function(name, nparams)
+            block = None
+            pending_label = None
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            if func is None:
+                raise AsmError(f"line {line_no}: label outside a function")
+            block = func.add_block(match.group(1))
+            continue
+        # Instruction line (possibly with a leading address column).
+        if func is None:
+            raise AsmError(f"line {line_no}: code outside a function")
+        line = _ADDR_RE.sub("", line)
+        pred = None
+        pmatch = _PRED_RE.match(line)
+        if pmatch:
+            pred = pmatch.group(1)
+            line = line[pmatch.end():].strip()
+        parts = line.replace(",", " ").split()
+        if not parts:
+            continue
+        mnemonic = parts[0]
+        relation = None
+        if mnemonic.startswith("cmp."):
+            relation = mnemonic[4:]
+            if relation not in CMP_RELATIONS:
+                raise AsmError(f"line {line_no}: bad relation {relation}")
+            mnemonic = "cmp"
+        if mnemonic not in ALL_OPS:
+            raise AsmError(f"line {line_no}: unknown opcode {mnemonic!r}")
+        instr = _parse_operands(mnemonic, relation, parts[1:], line_no)
+        instr.pred = pred
+        if block is None:
+            block = func.add_block("entry")
+        block.append(instr)
+    return program
+
+
+def round_trip(program: Program) -> Program:
+    """disassemble -> parse; the result finalises to identical code."""
+    return parse_assembly(program.disassemble(),
+                          entry=program.entry).finalize()
+
+
+def save_program(program: Program, path: str) -> None:
+    """Write a program's listing to ``path`` (a ``.s`` file)."""
+    with open(path, "w") as handle:
+        handle.write(program.disassemble())
+        handle.write("\n")
+
+
+def load_program(path: str, entry: str = "main") -> Program:
+    """Load a program previously saved with :func:`save_program`."""
+    with open(path) as handle:
+        return parse_assembly(handle.read(), entry=entry).finalize()

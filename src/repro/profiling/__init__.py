@@ -1,0 +1,14 @@
+"""Profiling feedback: cache profiles, block profiles, dynamic call graph."""
+
+from .profile import ProgramProfile
+from .collect import collect_profile
+from .delinquent import (
+    DEFAULT_COVERAGE,
+    DEFAULT_MAX_LOADS,
+    select_delinquent_loads,
+)
+
+__all__ = [
+    "ProgramProfile", "collect_profile",
+    "DEFAULT_COVERAGE", "DEFAULT_MAX_LOADS", "select_delinquent_loads",
+]

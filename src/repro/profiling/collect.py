@@ -1,0 +1,51 @@
+"""Profile collection: the two-pass flow of Figure 1.
+
+"The first compilation pass generates the regular binary.  In the second
+pass, we use the profiling information collected from running the original
+binary to enhance the binary for SSP."
+
+Two profiling runs are made:
+
+1. a timing run on the baseline in-order model (``chk.c`` disabled) for the
+   cache profile and the baseline cycle count, and
+2. a functional run for exact per-instruction execution counts and the
+   dynamic call graph of indirect calls.
+
+Both runs need their own freshly initialised heap (programs mutate their
+data), which is why the API takes a ``heap_factory``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..isa.interp import FunctionalInterpreter
+from ..isa.memory import Heap
+from ..isa.program import Program
+from ..sim.config import MachineConfig, inorder_config
+from ..sim.inorder import InOrderSimulator
+from .profile import ProgramProfile
+
+
+def collect_profile(program: Program,
+                    heap_factory: Callable[[], Heap],
+                    config: MachineConfig = None) -> ProgramProfile:
+    """Profile ``program`` and return the tool's input feedback."""
+    config = config or inorder_config()
+    if not program.finalized:
+        program.finalize()
+
+    sim = InOrderSimulator(program, heap_factory(), config, spawning=False)
+    stats = sim.run()
+
+    interp = FunctionalInterpreter(program, heap_factory())
+    interp.run()
+
+    return ProgramProfile(
+        program=program,
+        load_stats=dict(sim.memory.load_stats),
+        exec_counts=dict(interp.exec_counts),
+        indirect_targets=dict(interp.indirect_targets),
+        baseline_cycles=stats.cycles,
+        l1_latency=config.l1.latency,
+    )

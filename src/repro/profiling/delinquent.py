@@ -1,0 +1,43 @@
+"""Delinquent-load identification (Section 2.2).
+
+"For many programs, only a small number of static loads are responsible
+for the vast majority of cache misses.  The tool uses the cache profiles
+from the simulator to identify the top delinquent loads that contribute to
+at least 90% of the cache misses."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .profile import ProgramProfile
+
+DEFAULT_COVERAGE = 0.90
+DEFAULT_MAX_LOADS = 10
+
+
+def select_delinquent_loads(profile: ProgramProfile,
+                            coverage: float = DEFAULT_COVERAGE,
+                            max_loads: int = DEFAULT_MAX_LOADS,
+                            min_misses: int = 16) -> List[int]:
+    """Static-load uids covering ``coverage`` of all L1 misses.
+
+    Loads are ranked by miss count; selection stops once cumulative
+    coverage is reached or ``max_loads`` are taken.  ``min_misses`` filters
+    noise loads that would waste a hardware context.
+    """
+    ranked = sorted(profile.load_stats.items(),
+                    key=lambda kv: kv[1].l1_misses, reverse=True)
+    total = profile.total_misses()
+    if total == 0:
+        return []
+    selected: List[int] = []
+    covered = 0
+    for uid, stats in ranked:
+        if stats.l1_misses < min_misses:
+            break
+        selected.append(uid)
+        covered += stats.l1_misses
+        if covered / total >= coverage or len(selected) >= max_loads:
+            break
+    return selected

@@ -1,0 +1,25 @@
+"""P-slice scheduling: chaining and basic SP (Section 3.2)."""
+
+from .schedule import BASIC, CHAINING, GuardCheck, ScheduledSlice
+from .partition import critical_subslice, nondegenerate_nodes, slice_sccs
+from .rotation import best_rotation, rotate
+from .prediction import decide_prediction
+from .listsched import list_schedule
+from .slack import (
+    cumulative_slack,
+    reduced_miss_cycles,
+    region_height,
+    slack_bsp_per_iteration,
+    slack_csp_per_iteration,
+)
+from .chaining import ChainingScheduler
+from .basic import BasicScheduler
+
+__all__ = [
+    "BASIC", "CHAINING", "GuardCheck", "ScheduledSlice",
+    "critical_subslice", "nondegenerate_nodes", "slice_sccs",
+    "best_rotation", "rotate", "decide_prediction", "list_schedule",
+    "cumulative_slack", "reduced_miss_cycles", "region_height",
+    "slack_bsp_per_iteration", "slack_csp_per_iteration",
+    "ChainingScheduler", "BasicScheduler",
+]

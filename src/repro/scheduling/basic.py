@@ -1,0 +1,107 @@
+"""The basic-SP scheduler (Section 3.2.2).
+
+Basic SP uses a single speculative thread per trigger: no in-slice spawn,
+no chaining overhead, but the thread serialises on its own loads ("may
+stall if the thread encounters a data dependence after the delinquent load
+on an in-order execution machine").
+
+For a loop region the main thread re-triggers every iteration for the next
+one ("basic SP uses a speculative thread to execute one iteration and in
+each iteration of the main thread, the main thread triggers [a] new
+speculative thread for the next iteration"); the body is therefore ordered
+chain-values-first, so the thread advances the induction state before
+prefetching.  For a procedure region (e.g. treeadd's recursive traversal,
+the one benchmark the tool maps to basic SP) the slice simply prefetches
+the callee's delinquent data at entry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..analysis.depgraph import FLOW
+from ..slicing.regional import RegionSlice
+from .chaining import (
+    _emittable,
+    _live_in_registers,
+    _prefetch_convertible,
+    prune_dead_slice_code,
+)
+from .listsched import list_schedule
+from .partition import critical_subslice
+from .prediction import find_backedge_branch, find_condition_cmp
+from .rotation import best_rotation, rotate
+from .schedule import BASIC, ScheduledSlice
+from .slack import region_height, slack_bsp_per_iteration
+
+
+class BasicScheduler:
+    """Schedules a region slice for basic speculative precomputation."""
+
+    def schedule(self, region_slice: RegionSlice,
+                 region_uids: Optional[Set[int]] = None) -> ScheduledSlice:
+        dg = region_slice.dg
+        region = region_slice.region
+        if region_uids is None:
+            region_uids = {ins.uid for ins in region_slice.body}
+
+        body = list(region_slice.body)
+        body_uids = {ins.uid for ins in body}
+
+        excluded: Set[int] = set()
+        branch = find_backedge_branch(body, region)
+        if branch is not None:
+            excluded.add(branch.uid)
+            cmp_instr = find_condition_cmp(dg, branch, body_uids)
+            if cmp_instr is not None and not any(
+                    e.dst in body_uids and e.dst != branch.uid
+                    for e in dg.succs(cmp_instr.uid, kinds={FLOW})):
+                excluded.add(cmp_instr.uid)
+
+        emit_body = [ins for ins in _emittable(body)
+                     if ins.uid not in excluded]
+        keep_seeds = set(region_slice.delinquent_uids)
+        keep_seeds.update(uid for uid, _ in region_slice.extra_prefetches)
+        emit_body = prune_dead_slice_code(dg, emit_body, keep_seeds)
+        rotation = best_rotation(dg, emit_body) if region.loop else 0
+        emit_body = rotate(emit_body, rotation)
+        emit_uids = {ins.uid for ins in emit_body}
+        extra = [(dg.instr_of[uid].dest, off)
+                 for uid, off in region_slice.extra_prefetches
+                 if uid in emit_uids and dg.instr_of[uid].dest]
+
+        if region.loop is not None:
+            # Advance chain state first so the thread prefetches the *next*
+            # iteration relative to its live-ins.
+            critical_uids = critical_subslice(dg, emit_uids)
+            first = [i for i in emit_body if i.uid in critical_uids]
+            rest = [i for i in emit_body if i.uid not in critical_uids]
+            ordered = (list_schedule(dg, first)
+                       + list_schedule(dg, rest, placed=critical_uids))
+        else:
+            ordered = list_schedule(dg, emit_body)
+
+        live_ins = _live_in_registers(ordered, dg.func, [])
+        convert = _prefetch_convertible(dg, region_slice.load, emit_uids)
+
+        h_region = region_height(dg, region_uids)
+        h_slice = dg.max_height(emit_uids, within=emit_uids)
+        per_iter = slack_bsp_per_iteration(h_region, h_slice)
+
+        return ScheduledSlice(
+            kind=BASIC,
+            region_slice=region_slice,
+            critical=[],
+            noncritical=ordered,
+            live_ins=live_ins,
+            spawn_pred=None,
+            guard=None,
+            prefetch_convert=convert,
+            slack_per_iteration=per_iter,
+            height_region=h_region,
+            height_critical=0,
+            height_slice=h_slice,
+            available_ilp=dg.available_ilp(emit_uids) if emit_uids else 1.0,
+            rotation=rotation,
+            extra_prefetches=extra,
+        )

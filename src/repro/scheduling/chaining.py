@@ -1,0 +1,282 @@
+"""The chaining-SP scheduler (Section 3.2.1).
+
+Produces the do-across prefetching loop of Figure 5(b): the critical
+sub-slice (dependence cycles + chain live-in producers) first, then the
+spawn point, then the non-critical sub-slice — so that a chained thread
+hands the next iteration off *before* it blocks on its own loads.
+
+Pipeline: dependence reduction (loop rotation + spawn-condition
+prediction), SCC partitioning, and two-phase list scheduling with the
+maximum-cumulative-cost priority.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..isa.instructions import Instruction
+from ..analysis.depgraph import FLOW, DependenceGraph
+from ..slicing.regional import RegionSlice
+from .listsched import list_schedule
+from .partition import critical_subslice
+from .prediction import (
+    decide_prediction,
+    find_backedge_branch,
+    find_condition_cmp,
+)
+from .rotation import best_rotation, rotate
+from .schedule import CHAINING, ScheduledSlice
+from .slack import region_height, slack_csp_per_iteration
+
+
+def _emittable(body: List[Instruction]) -> List[Instruction]:
+    """Drop control transfers: the emitted slice is straight-line code (a
+    chained thread runs one iteration then dies; intra-iteration control
+    flow is speculatively if-converted)."""
+    return [ins for ins in body
+            if not ins.is_branch and ins.op not in ("chk.c", "spawn",
+                                                    "kill", "halt", "rfi",
+                                                    "nop")
+            or ins.op in ("br.call",)]
+
+
+def _live_in_registers(body: List[Instruction], func,
+                       extra_first: List[str]) -> List[str]:
+    from ..analysis.dataflow import instruction_defs, instruction_uses
+    from ..isa import registers as regs
+
+    defined: Set[str] = set()
+    live: List[str] = []
+    for reg in extra_first:
+        if reg and not reg.startswith("p") and reg != regs.ZERO and \
+                reg not in live:
+            live.append(reg)
+    for instr in body:
+        for reg in instruction_uses(instr, func):
+            if reg in (regs.ZERO, regs.TRUE_PREDICATE) or \
+                    reg.startswith("p"):
+                continue
+            if reg not in defined and reg not in live:
+                live.append(reg)
+        for reg in instruction_defs(instr):
+            defined.add(reg)
+    return live
+
+
+def prune_dead_slice_code(dg: DependenceGraph, body: List[Instruction],
+                          keep_seeds: Set[int]) -> List[Instruction]:
+    """Slice-pruning (Section 3.1.2): drop instructions that no longer feed
+    anything useful.
+
+    After the spawn condition is predicted away, the computation that only
+    fed the exit test (e.g. a BFS queue's tail bookkeeping, bounding-box
+    accumulation) is dead inside the p-slice; "speculative slicing prunes
+    the slice computation at those nodes that are unlikely to yield
+    effective speculative precomputation".  Keeps the backward flow closure
+    (intra-iteration and carried, within the body) of ``keep_seeds``.
+    """
+    body_uids = {ins.uid for ins in body}
+    keep: Set[int] = set()
+    work = [uid for uid in keep_seeds if uid in body_uids]
+    while work:
+        uid = work.pop()
+        if uid in keep:
+            continue
+        keep.add(uid)
+        for edge in dg.preds(uid, kinds={FLOW}):
+            if edge.src in body_uids and edge.src not in keep:
+                work.append(edge.src)
+    return [ins for ins in body if ins.uid in keep]
+
+
+def _prefetch_convertible(dg: DependenceGraph, load: Instruction,
+                          body_uids: Set[int]) -> bool:
+    """True when nothing in the slice consumes the delinquent load's value
+    (Figure 4: the load becomes a non-binding prefetch)."""
+    for edge in dg.succs(load.uid, kinds={FLOW}):
+        if edge.dst in body_uids and edge.dst != load.uid:
+            return False
+    return True
+
+
+class ChainingScheduler:
+    """Schedules a region slice for chaining speculative precomputation."""
+
+    def schedule(self, region_slice: RegionSlice,
+                 region_uids: Optional[Set[int]] = None) -> ScheduledSlice:
+        dg = region_slice.dg
+        region = region_slice.region
+        if region_uids is None:
+            region_uids = {ins.uid for ins in region_slice.body}
+
+        body = list(region_slice.body)
+        body_uids = {ins.uid for ins in body}
+
+        # -- dependence reduction ------------------------------------------------
+        spawn_pred, guard = decide_prediction(dg, body, region)
+        branch = find_backedge_branch(body, region)
+        excluded: Set[int] = set()
+        if branch is not None:
+            excluded.add(branch.uid)
+            cmp_instr = find_condition_cmp(dg, branch, body_uids)
+            if guard is not None and cmp_instr is not None:
+                # Prediction breaks the dependences leading to the spawn
+                # condition: the cmp is re-evaluated as the next thread's
+                # entry guard instead.
+                if not any(e.dst in body_uids and e.dst != branch.uid
+                           for e in dg.succs(cmp_instr.uid, kinds={FLOW})):
+                    excluded.add(cmp_instr.uid)
+
+        emit_body = [ins for ins in _emittable(body)
+                     if ins.uid not in excluded]
+
+        # -- slice pruning (dead code after prediction/exclusion) -----------------
+        keep_seeds = set(region_slice.delinquent_uids)
+        keep_seeds.update(uid for uid, _ in region_slice.extra_prefetches)
+        if spawn_pred is not None and branch is not None:
+            keeper = find_condition_cmp(dg, branch,
+                                        {i.uid for i in body})
+            if keeper is not None:
+                keep_seeds.add(keeper.uid)
+        emit_body = prune_dead_slice_code(dg, emit_body, keep_seeds)
+
+        rotation = best_rotation(dg, emit_body) if region.loop else 0
+        emit_body = rotate(emit_body, rotation)
+        emit_uids = {ins.uid for ins in emit_body}
+        extra = [(dg.instr_of[uid].dest, off)
+                 for uid, off in region_slice.extra_prefetches
+                 if uid in emit_uids and dg.instr_of[uid].dest]
+
+        # -- guard stability (chain termination) ----------------------------------
+        # A predicted condition is re-checked on the *next* thread's
+        # live-ins, which only works when every operand is recomputed
+        # along the chain.  An operand whose producer was pruned (a BFS
+        # queue's tail) goes stale and would kill the chain immediately;
+        # fall back to killing on a null chase-load value, checked before
+        # the spawn.
+        kill_after_uid = None
+        if guard is not None:
+            defined = {ins.dest for ins in emit_body
+                       if ins.dest is not None}
+            operands = [guard.reg]
+            if guard.other_reg is not None:
+                operands.append(guard.other_reg)
+            stable = all(op in defined for op in operands)
+            if not stable:
+                chase = self._chase_load(dg, emit_body, keep_seeds)
+                if chase is not None:
+                    guard = None
+                    kill_after_uid = chase.uid
+                else:
+                    # No safe termination: revert to an unpredicted,
+                    # predicated spawn (condition recomputed in-slice).
+                    guard = None
+                    branch2 = find_backedge_branch(body, region)
+                    if branch2 is not None:
+                        cmp2 = find_condition_cmp(
+                            dg, branch2, {i.uid for i in body})
+                        if cmp2 is not None:
+                            spawn_pred = branch2.pred
+                            keep_seeds.add(cmp2.uid)
+                            emit_body = prune_dead_slice_code(
+                                dg, [i for i in _emittable(body)
+                                     if i.uid != branch2.uid], keep_seeds)
+                            emit_body = rotate(
+                                emit_body,
+                                best_rotation(dg, emit_body)
+                                if region.loop else 0)
+                            emit_uids = {i.uid for i in emit_body}
+
+        # -- partitioning --------------------------------------------------------
+        critical_uids = critical_subslice(dg, emit_uids)
+        if kill_after_uid is not None:
+            # The chase load (and what it needs) must precede the spawn so
+            # a null result stops the chain before it propagates.
+            work = [kill_after_uid]
+            while work:
+                uid = work.pop()
+                if uid in critical_uids or uid not in emit_uids:
+                    continue
+                critical_uids.add(uid)
+                for edge in dg.preds(uid, kinds={FLOW}):
+                    if edge.src in emit_uids and not edge.loop_carried:
+                        work.append(edge.src)
+        if spawn_pred is not None and branch is not None:
+            # Unpredicted spawn: the condition must be computed before the
+            # spawn point (Figure 5(b): the cmp sits in the A/D/E group).
+            cmp_instr = find_condition_cmp(dg, branch, body_uids)
+            if cmp_instr is not None and cmp_instr.uid in emit_uids:
+                work = [cmp_instr.uid]
+                while work:
+                    uid = work.pop()
+                    if uid in critical_uids:
+                        continue
+                    critical_uids.add(uid)
+                    for edge in dg.preds(uid, kinds={FLOW, "control"}):
+                        if edge.src in emit_uids and not edge.loop_carried:
+                            work.append(edge.src)
+        critical_nodes = [ins for ins in emit_body
+                          if ins.uid in critical_uids]
+        noncritical_nodes = [ins for ins in emit_body
+                             if ins.uid not in critical_uids]
+
+        # -- two-phase list scheduling -------------------------------------------
+        critical_order = list_schedule(dg, critical_nodes)
+        noncritical_order = list_schedule(dg, noncritical_nodes,
+                                          placed=critical_uids)
+
+        # -- live-ins & conversions ----------------------------------------------
+        guard_regs: List[str] = []
+        if guard is not None:
+            guard_regs.append(guard.reg)
+            if guard.other_reg is not None:
+                guard_regs.append(guard.other_reg)
+        elif spawn_pred is not None:
+            pass  # the cmp is inside the body; its operands are handled
+        ordered = critical_order + noncritical_order
+        live_ins = _live_in_registers(ordered, dg.func, guard_regs)
+
+        convert = _prefetch_convertible(dg, region_slice.load, emit_uids)
+
+        # -- slack ----------------------------------------------------------------
+        h_region = region_height(dg, region_uids)
+        h_critical = dg.max_height(critical_uids, within=critical_uids) \
+            if critical_uids else 0
+        h_slice = dg.max_height(emit_uids, within=emit_uids)
+        per_iter = slack_csp_per_iteration(h_region, h_critical,
+                                           len(live_ins))
+
+        return ScheduledSlice(
+            kind=CHAINING,
+            region_slice=region_slice,
+            critical=critical_order,
+            noncritical=noncritical_order,
+            live_ins=live_ins,
+            spawn_pred=spawn_pred,
+            guard=guard,
+            prefetch_convert=convert,
+            slack_per_iteration=per_iter,
+            height_region=h_region,
+            height_critical=h_critical,
+            height_slice=h_slice,
+            available_ilp=dg.available_ilp(emit_uids) if emit_uids else 1.0,
+            rotation=rotation,
+            extra_prefetches=extra,
+            kill_after_uid=kill_after_uid,
+        )
+
+    def _chase_load(self, dg: DependenceGraph, emit_body, keep_seeds):
+        """The first load whose value feeds the prefetch targets — a null
+        result means the traversal ran off its data structure."""
+        seed_uids = set(keep_seeds)
+        for ins in emit_body:
+            if not ins.is_load or ins.dest is None:
+                continue
+            for edge in dg.succs(ins.uid, kinds={FLOW}):
+                if edge.dst in seed_uids and edge.dst != ins.uid:
+                    return ins
+            if any(ins.dest == dg.instr_of[uid].srcs[0]
+                   for uid in seed_uids
+                   if uid in dg.instr_of and dg.instr_of[uid].srcs):
+                return ins
+        return None

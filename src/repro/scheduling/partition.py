@@ -1,0 +1,77 @@
+"""Graph partitioning of a slice's dependence graph (Section 3.2.1.2.1).
+
+"We use the strongly connected components (SCC) algorithm to partition a
+dependence graph ... we form SCC's without considering any false
+loop-carried dependences.  Any occurrence of non-degenerate SCC in the
+dependence graph consists of one or more dependence cycles, which implies
+the existence of loop-carried dependences. ... our heuristics schedules all
+instructions in an SCC first before scheduling instructions in another
+SCC."
+
+The *critical sub-slice* is the closure of the non-degenerate SCCs (and of
+every node whose value is carried to the next iteration — a chain live-in
+must be computed before the spawn point passes it on).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..analysis.depgraph import CONTROL, FLOW, DependenceGraph
+from ..analysis.scc import strongly_connected_components
+
+TRUE_KINDS = {FLOW, CONTROL}
+
+
+def slice_sccs(dg: DependenceGraph, body_uids: Set[int]) -> List[List[int]]:
+    """SCCs of the slice's true-dependence graph (carried edges included,
+    false dependences excluded).  Reverse topological order."""
+
+    def successors(uid: int):
+        return [e.dst for e in dg.succs(uid, kinds=TRUE_KINDS)
+                if e.dst in body_uids]
+
+    return strongly_connected_components(sorted(body_uids), successors)
+
+
+def nondegenerate_nodes(sccs: List[List[int]],
+                        dg: DependenceGraph) -> Set[int]:
+    """Nodes in non-degenerate SCCs (plus self-loop singletons)."""
+    out: Set[int] = set()
+    for comp in sccs:
+        if len(comp) > 1:
+            out.update(comp)
+        else:
+            (node,) = comp
+            if any(e.dst == node for e in dg.succs(node, kinds=TRUE_KINDS)):
+                out.add(node)
+    return out
+
+
+def critical_subslice(dg: DependenceGraph, body_uids: Set[int]) -> Set[int]:
+    """The critical sub-slice: everything that must run before the spawn.
+
+    Includes (a) all non-degenerate SCC nodes, (b) every node whose value
+    flows loop-carried to another body node (it is a chain live-in and must
+    be produced before the spawn passes live-ins on), and (c) the backward
+    closure of (a)+(b) over intra-iteration true dependences.
+    """
+    sccs = slice_sccs(dg, body_uids)
+    seeds = nondegenerate_nodes(sccs, dg)
+    for uid in body_uids:
+        for edge in dg.succs(uid, kinds=TRUE_KINDS):
+            if edge.loop_carried and edge.dst in body_uids:
+                seeds.add(uid)
+    critical: Set[int] = set()
+    work = list(seeds)
+    while work:
+        uid = work.pop()
+        if uid in critical:
+            continue
+        critical.add(uid)
+        for edge in dg.preds(uid, kinds=TRUE_KINDS):
+            if edge.loop_carried or edge.src not in body_uids:
+                continue
+            if edge.src not in critical:
+                work.append(edge.src)
+    return critical

@@ -1,0 +1,117 @@
+"""Spawn-condition prediction (Section 3.2.1.1).
+
+"The second optimization is to use the prediction techniques on some
+conditional expressions in the slice. ... The spawn condition becomes
+highly predictable. ... The prediction breaks the dependences leading to
+the spawn condition after predicting the spawn condition.  After such
+removal of dependences, more instructions can be executed after the
+spawning point instead of before the point."
+
+Decision rule implemented here: the spawn condition (the slice's back-edge
+branch) is predicted *taken* when its computation depends on a load in the
+slice body — the pattern of pointer-chasing loops, where the continue test
+``next != 0`` serialises behind a cache miss.  Prediction removes the
+cmp/branch from the critical sub-slice; termination moves into the *next*
+chained thread, which re-checks the real condition on its live-in values
+and kills itself (at most one over-spawned thread, whose prefetches are
+harmlessly speculative).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..isa.instructions import Instruction
+from ..analysis.depgraph import FLOW, DependenceGraph
+from ..analysis.regions import Region
+from .schedule import GuardCheck
+
+#: relation -> negation, for building the kill guard.
+NEGATE = {"eq": "ne", "ne": "eq", "lt": "ge", "le": "gt",
+          "gt": "le", "ge": "lt"}
+
+
+def find_backedge_branch(body: List[Instruction],
+                         region: Region) -> Optional[Instruction]:
+    """The slice's loop-continue branch (target = the loop header)."""
+    if region.loop is None:
+        return None
+    for ins in body:
+        if ins.op == "br.cond" and ins.target == region.loop.header:
+            return ins
+    return None
+
+
+def find_condition_cmp(dg: DependenceGraph, branch: Instruction,
+                       body_uids: Set[int]) -> Optional[Instruction]:
+    """The cmp producing the branch's qualifying predicate."""
+    for edge in dg.preds(branch.uid, kinds={FLOW}):
+        src = dg.instr_of[edge.src]
+        if src.op == "cmp" and src.dest == branch.pred and \
+                src.uid in body_uids:
+            return src
+    return None
+
+
+def condition_depends_on_load(dg: DependenceGraph, cmp_instr: Instruction,
+                              body_uids: Set[int]) -> bool:
+    """Does the condition's backward closure (within the body) hit a load?"""
+    seen: Set[int] = set()
+    work = [cmp_instr.uid]
+    while work:
+        uid = work.pop()
+        if uid in seen:
+            continue
+        seen.add(uid)
+        if dg.instr_of[uid].is_load and uid != cmp_instr.uid:
+            return True
+        for edge in dg.preds(uid, kinds={FLOW}):
+            if edge.src in body_uids and not edge.loop_carried and \
+                    edge.src not in seen:
+                work.append(edge.src)
+        # Also follow carried edges one step: a condition fed by last
+        # iteration's load (cur = ld cur->next; while cur) is the exact
+        # case prediction targets.
+        for edge in dg.preds(uid, kinds={FLOW}):
+            if edge.src in body_uids and edge.loop_carried:
+                src = dg.instr_of[edge.src]
+                if src.is_load:
+                    return True
+    return False
+
+
+def decide_prediction(dg: DependenceGraph, body: List[Instruction],
+                      region: Region
+                      ) -> Tuple[Optional[str], Optional[GuardCheck]]:
+    """Pick spawn-condition handling for a chaining slice.
+
+    Returns ``(spawn_pred, guard)``:
+
+    * ``(pred, None)`` — no prediction: the spawn is qualified by the real
+      loop-continue predicate (Figure 5(b) shape).
+    * ``(None, guard)`` — predicted: unconditional spawn, with ``guard``
+      re-checked at the top of the next thread.
+    * ``(None, None)`` — no condition found in the slice: spawn
+      unconditionally and rely on downstream kill (degenerate, avoided by
+      the region selector).
+    """
+    branch = find_backedge_branch(body, region)
+    if branch is None:
+        return None, None
+    body_uids = {ins.uid for ins in body}
+    cmp_instr = find_condition_cmp(dg, branch, body_uids)
+    if cmp_instr is None:
+        return None, None
+
+    predict = condition_depends_on_load(dg, cmp_instr, body_uids)
+    if not predict:
+        return branch.pred, None
+
+    # Build the kill guard: negate the continue condition.  Operands must
+    # be expressible on live-in values: a register (carried into the next
+    # thread) and optionally an immediate or second register.
+    relation = NEGATE[cmp_instr.relation]
+    reg = cmp_instr.srcs[0]
+    other = cmp_instr.srcs[1] if len(cmp_instr.srcs) > 1 else None
+    return None, GuardCheck(relation, reg, other_reg=other,
+                            immediate=cmp_instr.imm)

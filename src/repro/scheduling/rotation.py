@@ -1,0 +1,84 @@
+"""Loop rotation for dependence reduction (Section 3.2.1.1).
+
+"Loop rotation reduces loop-carried dependence from the bottom of the slice
+in one iteration to the top of the slice in the next iteration.  The
+algorithm greedily finds the new loop boundary that converts many backward
+loop-carried dependences into true intra-iteration dependences.  The
+algorithm enforces the property that [the] new boundary does not introduce
+new loop-carried dependences."
+
+We evaluate every candidate boundary ``k`` over the slice body: a carried
+flow dependence src -> dst becomes intra-iteration when the rotated
+position of src precedes dst's; an existing intra-iteration dependence must
+stay intra-iteration.  The best admissible ``k`` (most conversions) wins;
+``k = 0`` (no rotation) is always admissible.
+
+Rotation can make the *first* chained thread's prefetches inaccurate (it
+starts mid-iteration with loop-entry live-ins) — harmless, since p-slices
+carry no correctness obligation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..isa.instructions import Instruction
+from ..analysis.depgraph import CONTROL, FLOW, DependenceGraph
+
+
+def _dependences(dg: DependenceGraph, body: List[Instruction]
+                 ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+    """(carried, intra) dependences as (src_pos, dst_pos) pairs."""
+    pos = {ins.uid: i for i, ins in enumerate(body)}
+    carried: List[Tuple[int, int]] = []
+    intra: List[Tuple[int, int]] = []
+    for ins in body:
+        for edge in dg.succs(ins.uid, kinds={FLOW, CONTROL}):
+            if edge.dst not in pos:
+                continue
+            pair = (pos[ins.uid], pos[edge.dst])
+            if edge.loop_carried:
+                carried.append(pair)
+            else:
+                intra.append(pair)
+    return carried, intra
+
+
+def best_rotation(dg: DependenceGraph, body: List[Instruction]) -> int:
+    """The rotation offset ``k`` (0 = unrotated) that converts the most
+    carried dependences without breaking any intra-iteration one."""
+    n = len(body)
+    if n < 2:
+        return 0
+    carried, intra = _dependences(dg, body)
+    if not carried:
+        return 0
+
+    best_k, best_score = 0, _score(0, n, carried, intra)
+    for k in range(1, n):
+        score = _score(k, n, carried, intra)
+        if score is not None and (best_score is None or
+                                  score > best_score):
+            best_k, best_score = k, score
+    return best_k
+
+
+def _score(k: int, n: int, carried, intra):
+    """Carried deps converted by rotation ``k``; None if inadmissible."""
+
+    def rotated(p: int) -> int:
+        return (p - k) % n
+
+    for src, dst in intra:
+        if rotated(src) >= rotated(dst):
+            return None  # would introduce a new loop-carried dependence
+    converted = sum(1 for src, dst in carried
+                    if rotated(src) < rotated(dst))
+    return converted
+
+
+def rotate(body: List[Instruction], k: int) -> List[Instruction]:
+    """Apply rotation ``k``: the body now begins at instruction ``k``."""
+    if k == 0:
+        return list(body)
+    return body[k:] + body[:k]

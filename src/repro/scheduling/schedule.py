@@ -1,0 +1,116 @@
+"""The scheduled form of a p-slice, ready for code generation.
+
+A :class:`ScheduledSlice` is the output of the chaining or basic scheduler:
+the slice body in execution order, split into critical / non-critical
+sub-slices around the spawn point (Section 3.2.1.2.2), with live-in buffer
+layout, spawn-condition handling, and the slack estimates that drive region
+and model selection (Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..slicing.regional import RegionSlice
+
+CHAINING, BASIC = "chaining", "basic"
+
+
+class GuardCheck:
+    """Entry-of-slice termination test for predicted spawn conditions.
+
+    When the spawn condition is predicted (Section 3.2.1.1), a chained
+    thread spawns its successor unconditionally; the successor then checks
+    the *actual* condition on its live-in values and kills itself if the
+    loop would have exited.  ``relation`` is the negation of the loop's
+    continue condition.
+    """
+
+    def __init__(self, relation: str, reg: str,
+                 other_reg: Optional[str] = None,
+                 immediate: Optional[int] = None):
+        self.relation = relation
+        self.reg = reg
+        self.other_reg = other_reg
+        self.immediate = immediate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rhs = self.other_reg if self.other_reg is not None else self.immediate
+        return f"GuardCheck(kill if {self.reg} {self.relation} {rhs})"
+
+
+class ScheduledSlice:
+    """A p-slice after scheduling, the emitter's input."""
+
+    def __init__(self, kind: str, region_slice: RegionSlice,
+                 critical: List[Instruction],
+                 noncritical: List[Instruction],
+                 live_ins: List[str],
+                 spawn_pred: Optional[str] = None,
+                 guard: Optional[GuardCheck] = None,
+                 prefetch_convert: bool = True,
+                 slack_per_iteration: float = 0.0,
+                 height_region: int = 0,
+                 height_critical: int = 0,
+                 height_slice: int = 0,
+                 available_ilp: float = 1.0,
+                 rotation: int = 0,
+                 extra_prefetches: Optional[List[Tuple[str, int]]] = None,
+                 kill_after_uid: Optional[int] = None):
+        self.kind = kind
+        self.region_slice = region_slice
+        #: Instructions before the spawn point (the critical sub-slice;
+        #: empty for basic SP, which has no in-slice spawn).
+        self.critical = critical
+        #: Instructions after the spawn point.
+        self.noncritical = noncritical
+        #: Registers supplied through the live-in buffer, in slot order.
+        self.live_ins = live_ins
+        #: Qualifying predicate for the chain spawn (None = unconditional).
+        self.spawn_pred = spawn_pred
+        #: Entry termination check when the spawn condition is predicted.
+        self.guard = guard
+        #: Convert the delinquent load itself to a non-binding prefetch?
+        self.prefetch_convert = prefetch_convert
+        self.slack_per_iteration = slack_per_iteration
+        self.height_region = height_region
+        self.height_critical = height_critical
+        self.height_slice = height_slice
+        self.available_ilp = available_ilp
+        #: Loop-rotation offset applied to the body (Section 3.2.1.1).
+        self.rotation = rotation
+        #: (register, offset) prefetches appended after the body — the
+        #: recursive-context substitutions of Section 3.1's context-
+        #: sensitive slicing (prefetch the next activation's data).
+        self.extra_prefetches: List[Tuple[str, int]] = \
+            list(extra_prefetches or [])
+        #: Uid of a chase load after which the emitter inserts a
+        #: kill-if-zero check — the chain-termination fallback when the
+        #: predicted condition's operands are not reproducible from the
+        #: pruned slice (e.g. a BFS queue's tail).
+        self.kill_after_uid = kill_after_uid
+
+    @property
+    def ordered(self) -> List[Instruction]:
+        """The full body in final execution order."""
+        return self.critical + self.noncritical
+
+    @property
+    def load(self) -> Instruction:
+        return self.region_slice.load
+
+    @property
+    def predicted(self) -> bool:
+        return self.guard is not None
+
+    def size(self) -> int:
+        return len(self.critical) + len(self.noncritical)
+
+    def num_live_ins(self) -> int:
+        return len(self.live_ins)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ScheduledSlice({self.kind}, load={self.load.uid}, "
+                f"{self.size()} instrs, {len(self.live_ins)} live-ins, "
+                f"slack/iter={self.slack_per_iteration:.1f})")

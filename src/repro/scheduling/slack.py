@@ -1,0 +1,72 @@
+"""Slack and reduced-miss-cycle models (Sections 3.2.1.2.2, 3.2.2, 3.4.1).
+
+The paper's formulas, verbatim:
+
+    slack_csp(i) = (height(region) - height(critical sub-slice)
+                    - latency(copy live-ins and spawn)) * i
+
+    slack_bsp(i) = (height(region) - height(slice)) * i
+
+    reduced_misscycle = sum_i min(miss_cycle_per_iteration, slack_sp(i))
+
+``height`` is the maximum latency-weighted node height of the dependence
+graph restricted to the region / slice (per iteration, loop-carried edges
+excluded).  The slack functions return the *per-iteration increment*; the
+cumulative slack at iteration ``i`` is ``i`` times that.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..analysis.depgraph import DependenceGraph
+
+#: Cycles to copy one live-in value to the buffer (one lib.st).
+COPY_LATENCY_PER_LIVE_IN = 1
+#: Fixed spawn cost seen by the critical path (context binding).
+SPAWN_LATENCY = 4
+
+
+def region_height(dg: DependenceGraph, region_uids: Set[int]) -> int:
+    """Per-iteration dependence height of the whole region's code — the
+    estimate of the main thread's schedule length per iteration."""
+    return dg.max_height(region_uids, within=region_uids)
+
+
+def slack_csp_per_iteration(height_region: int, height_critical: int,
+                            num_live_ins: int) -> float:
+    """Per-iteration slack gain of chaining SP."""
+    copy_cost = (num_live_ins * COPY_LATENCY_PER_LIVE_IN) + SPAWN_LATENCY
+    return float(height_region - height_critical - copy_cost)
+
+
+def slack_bsp_per_iteration(height_region: int, height_slice: int) -> float:
+    """Per-iteration slack gain of basic SP."""
+    return float(height_region - height_slice)
+
+
+def cumulative_slack(per_iteration: float, i: int) -> float:
+    """slack_sp(i) — the paper's linear accumulation model."""
+    return per_iteration * i
+
+
+def reduced_miss_cycles(per_iteration_slack: float, trip_count: float,
+                        miss_cycles_per_iteration: float) -> float:
+    """reduced_misscycle = Σ_i min(miss_cycle_per_iteration, slack_sp(i)).
+
+    Evaluated in closed form: slack grows linearly until it covers the
+    whole per-iteration miss penalty, after which every iteration saves the
+    full penalty.
+    """
+    n = int(trip_count)
+    if n <= 0 or miss_cycles_per_iteration <= 0:
+        return 0.0
+    if per_iteration_slack <= 0:
+        return 0.0
+    # Iterations needed for slack to cover the full miss penalty.
+    ramp = int(miss_cycles_per_iteration // per_iteration_slack)
+    ramp = min(ramp, n)
+    # Sum of slack over the ramp: per * (1 + 2 + ... + ramp).
+    total = per_iteration_slack * ramp * (ramp + 1) / 2.0
+    total += (n - ramp) * miss_cycles_per_iteration
+    return total

@@ -1,0 +1,27 @@
+"""SMT research-Itanium timing simulator (the SMTSIM/IPFsim substitute)."""
+
+from .config import (
+    CacheConfig,
+    MachineConfig,
+    inorder_config,
+    ooo_config,
+    table1_rows,
+)
+from .caches import AccessResult, CacheLevel, LoadStats, MemorySystem
+from .branch import GsharePredictor
+from .stats import CYCLE_CATEGORIES, STALL_CATEGORY, SimStats
+from .inorder import InOrderSimulator
+from .ooo import OOOSimulator
+from .machine import MODELS, make_config, simulate
+from .trace import ContextTrace, TracingInOrderSimulator, trace_run
+
+__all__ = [
+    "CacheConfig", "MachineConfig", "inorder_config", "ooo_config",
+    "table1_rows",
+    "AccessResult", "CacheLevel", "LoadStats", "MemorySystem",
+    "GsharePredictor",
+    "CYCLE_CATEGORIES", "STALL_CATEGORY", "SimStats",
+    "InOrderSimulator", "OOOSimulator",
+    "MODELS", "make_config", "simulate",
+    "ContextTrace", "TracingInOrderSimulator", "trace_run",
+]

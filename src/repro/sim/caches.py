@@ -1,0 +1,265 @@
+"""Cache hierarchy, fill buffer and TLB timing model.
+
+Implements the Table 1 memory subsystem: inclusive L1/L2/L3 with true-LRU
+sets and 64-byte lines, a 16-entry fill buffer bounding outstanding L1
+misses, a 128-entry TLB with a 30-cycle miss penalty, and 230-cycle memory.
+
+Lines being filled are tracked in an *in-transit* table so that a second
+access to a line already on its way to L1 completes when the fill does — a
+**partial miss** in the paper's Figure 9 terminology ("accesses to cache
+lines which were already in transit to L1 cache due to accesses by prior
+loads from the main thread or from a prefetch").  This is the mechanism by
+which a speculative thread's prefetch shortens (or fully hides) the main
+thread's miss.
+
+Per-static-load statistics are gathered for main-thread accesses; they are
+both the cache profile the post-pass tool consumes (Section 3.1: "the tool
+employs cache profile data from the simulator") and the Figure 9/10 data.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from .config import CacheConfig, MachineConfig
+
+#: Hierarchy level labels, outermost last.
+L1, L2, L3, MEM = "L1", "L2", "L3", "MEM"
+LEVELS = (L1, L2, L3, MEM)
+
+
+class AccessResult:
+    """Outcome of one memory access."""
+
+    __slots__ = ("ready", "level", "partial")
+
+    def __init__(self, ready: int, level: str, partial: bool = False):
+        #: Cycle at which the value is available to dependent instructions.
+        self.ready = ready
+        #: Hierarchy level that supplied the data (fill origin for partials).
+        self.level = level
+        #: True if the line was already in transit to L1 (Figure 9 partial).
+        self.partial = partial
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = " partial" if self.partial else ""
+        return f"AccessResult(ready={self.ready}, {self.level}{p})"
+
+
+class CacheLevel:
+    """One set-associative cache level with true LRU replacement."""
+
+    def __init__(self, cfg: CacheConfig):
+        self.cfg = cfg
+        self.num_sets = cfg.num_sets
+        self.ways = cfg.ways
+        self.latency = cfg.latency
+        # Each set is an MRU-ordered list of line addresses (MRU at end).
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+
+    def lookup(self, line: int) -> bool:
+        """True on hit; touches LRU state."""
+        s = self._sets[line & (self.num_sets - 1)]
+        if line in s:
+            s.remove(line)
+            s.append(line)
+            return True
+        return False
+
+    def insert(self, line: int) -> Optional[int]:
+        """Insert ``line``; returns the evicted line, if any."""
+        s = self._sets[line & (self.num_sets - 1)]
+        if line in s:
+            s.remove(line)
+            s.append(line)
+            return None
+        s.append(line)
+        if len(s) > self.ways:
+            return s.pop(0)
+        return None
+
+    def contains(self, line: int) -> bool:
+        """Non-touching presence check (for tests/introspection)."""
+        return line in self._sets[line & (self.num_sets - 1)]
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+
+
+class LoadStats:
+    """Counters for one static load (main-thread accesses only)."""
+
+    __slots__ = ("accesses", "hits", "partials", "miss_cycles")
+
+    def __init__(self):
+        self.accesses = 0
+        #: Hits per supplying level, e.g. hits["L2"] = demand L2 hits.
+        self.hits = {lvl: 0 for lvl in LEVELS}
+        #: Partial (in-transit) hits keyed by the fill's origin level.
+        self.partials = {lvl: 0 for lvl in (L2, L3, MEM)}
+        #: Total cycles of latency beyond an L1 hit.
+        self.miss_cycles = 0
+
+    @property
+    def l1_misses(self) -> int:
+        return self.accesses - self.hits[L1]
+
+    def miss_rate(self) -> float:
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+
+class MemorySystem:
+    """The full memory hierarchy shared by all hardware thread contexts."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self.l1 = CacheLevel(config.l1)
+        self.l2 = CacheLevel(config.l2)
+        self.l3 = CacheLevel(config.l3)
+        self._line_shift = config.l1.line_bytes.bit_length() - 1
+        self._page_shift = config.tlb_page_bytes.bit_length() - 1
+        # TLB: MRU-ordered list of page numbers.
+        self._tlb: List[int] = []
+        self._tlb_entries = config.tlb_entries
+        # line -> (fill completion cycle, origin level)
+        self._in_transit: Dict[int, Tuple[int, str]] = {}
+        # Outstanding fill completion cycles (fill buffer occupancy).
+        self._fills: List[int] = []
+        # Statistics.
+        self.load_stats: Dict[int, LoadStats] = {}
+        self.level_counts = {lvl: 0 for lvl in LEVELS}
+        self.partial_counts = {lvl: 0 for lvl in (L2, L3, MEM)}
+        self.tlb_misses = 0
+        self.prefetches_issued = 0
+        self.prefetches_dropped = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _tlb_access(self, addr: int) -> int:
+        """Returns extra cycles for a TLB miss (0 on hit)."""
+        page = addr >> self._page_shift
+        tlb = self._tlb
+        if page in tlb:
+            tlb.remove(page)
+            tlb.append(page)
+            return 0
+        tlb.append(page)
+        if len(tlb) > self._tlb_entries:
+            tlb.pop(0)
+        self.tlb_misses += 1
+        return self.config.tlb_miss_penalty
+
+    def _fill_buffer_start(self, now: int) -> int:
+        """Earliest cycle a new fill can start, honouring the 16 entries."""
+        fills = self._fills
+        while fills and fills[0] <= now:
+            heapq.heappop(fills)
+        if len(fills) >= self.config.fill_buffer_entries:
+            return heapq.heappop(fills)
+        return now
+
+    # -- the access path --------------------------------------------------------
+
+    def access(self, addr: int, now: int, uid: int, is_main: bool,
+               is_prefetch: bool = False, is_store: bool = False) -> AccessResult:
+        """Perform one data access at cycle ``now``.
+
+        Returns when the value is ready and which level supplied it.  Main
+        thread accesses are recorded in the per-static-load statistics;
+        speculative-thread accesses (the prefetches) only mutate cache
+        state.
+        """
+        cfg = self.config
+        if cfg.perfect_memory or uid in cfg.perfect_load_uids:
+            if not cfg.perfect_memory:
+                # "Delinquent loads always hit in the L1 cache" (Figure 2):
+                # the line is materialised instantly, so sibling loads of
+                # the same line hit too — otherwise their misses would
+                # simply migrate to the next load of the line.
+                line = self.line_of(addr)
+                self.l1.insert(line)
+                self.l2.insert(line)
+                self.l3.insert(line)
+                self._in_transit.pop(line, None)
+            result = AccessResult(now + cfg.l1.latency, L1)
+            if is_main and not is_prefetch and not is_store:
+                self._record(uid, result, now)
+            return result
+
+        if is_prefetch:
+            self.prefetches_issued += 1
+
+        line = self.line_of(addr)
+        extra = self._tlb_access(addr)
+        start = now + extra
+
+        transit = self._in_transit.get(line)
+        if transit is not None:
+            done, origin = transit
+            if done > start:
+                # Partial miss: the line is already on its way to L1.
+                result = AccessResult(done, origin, partial=True)
+                if is_main and not is_prefetch and not is_store:
+                    self._record(uid, result, now)
+                return result
+            del self._in_transit[line]
+
+        if self.l1.lookup(line):
+            result = AccessResult(start + cfg.l1.latency, L1)
+            if is_main and not is_prefetch and not is_store:
+                self._record(uid, result, now)
+            return result
+
+        # L1 miss: the fill occupies a fill-buffer entry.
+        start = self._fill_buffer_start(start)
+        if self.l2.lookup(line):
+            ready, origin = start + cfg.l2.latency, L2
+        elif self.l3.lookup(line):
+            ready, origin = start + cfg.l3.latency, L3
+            self.l2.insert(line)
+        else:
+            ready, origin = start + cfg.memory_latency, MEM
+            self.l3.insert(line)
+            self.l2.insert(line)
+        self.l1.insert(line)
+        self._in_transit[line] = (ready, origin)
+        heapq.heappush(self._fills, ready)
+
+        result = AccessResult(ready, origin)
+        if is_main and not is_prefetch and not is_store:
+            self._record(uid, result, now)
+        return result
+
+    def _record(self, uid: int, result: AccessResult, now: int) -> None:
+        stats = self.load_stats.get(uid)
+        if stats is None:
+            stats = self.load_stats[uid] = LoadStats()
+        stats.accesses += 1
+        if result.partial:
+            stats.partials[result.level] += 1
+            self.partial_counts[result.level] += 1
+        else:
+            stats.hits[result.level] += 1
+            self.level_counts[result.level] += 1
+        beyond_l1 = (result.ready - now) - self.config.l1.latency
+        if result.level != L1 and beyond_l1 > 0:
+            stats.miss_cycles += beyond_l1
+
+    # -- inspection --------------------------------------------------------------
+
+    def total_accesses(self) -> int:
+        return (sum(self.level_counts.values())
+                + sum(self.partial_counts.values()))
+
+    def flush(self) -> None:
+        """Cold caches/TLB, clear transit state (not statistics)."""
+        self.l1.flush()
+        self.l2.flush()
+        self.l3.flush()
+        self._tlb = []
+        self._in_transit = {}
+        self._fills = []

@@ -1,0 +1,429 @@
+"""Cycle-stepped in-order SMT pipeline model (the baseline machine).
+
+Models the paper's 12-stage in-order research Itanium: a scoreboarded
+in-order core where "the in-order pipeline stalls when an instruction
+attempts to use the destination register of an outstanding load miss"
+(Section 4.3), with SMT fetch/issue of 2 bundles from one thread or 1
+bundle each from two threads, shared function units (4 int, 3 branch,
+2 memory ports), gshare branch prediction, and four hardware thread
+contexts with lightweight-exception spawning for SSP.
+
+The simulator is execution-driven: instructions execute architecturally at
+issue (via :func:`repro.isa.interp.execute`), so speculative threads
+compute real addresses and their prefetches warm the shared caches that the
+main thread then hits — the entire SSP effect is emergent, not modelled.
+
+Long stalls are skipped in O(1): when no context can issue, the clock jumps
+to the earliest wake-up, charging the skipped cycles to the main thread's
+current stall category (Figure 10 accounting).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional
+
+from ..isa.interp import ThreadState, execute, spawn_thread
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .branch import GsharePredictor
+from .caches import L1, MemorySystem
+from .config import MachineConfig
+from .stats import STALL_CATEGORY, SimStats
+
+#: Sentinel wake cycle for threads with nothing to wait for.
+_FAR_FUTURE = 1 << 60
+
+
+class HWThread:
+    """Timing state of one occupied hardware thread context."""
+
+    __slots__ = ("state", "reg_ready", "reg_level", "stall_until", "wake",
+                 "spawn_parked_pc")
+
+    def __init__(self, state: ThreadState, start_cycle: int = 0):
+        self.state = state
+        #: register name -> cycle its value becomes available.
+        self.reg_ready: Dict[str, int] = {}
+        #: register name -> cache level that supplied it (loads only).
+        self.reg_level: Dict[str, Optional[str]] = {}
+        #: no fetch/issue before this cycle (flush, startup).
+        self.stall_until = start_cycle
+        #: earliest cycle this thread may make progress (for time skip).
+        self.wake = start_cycle
+        #: pc of a chaining spawn this thread already parked on once; the
+        #: second encounter gives up (the request is dropped) — an
+        #: unbounded wait could deadlock all speculative contexts.
+        self.spawn_parked_pc: Optional[int] = None
+
+
+class _Resources:
+    """Per-cycle shared function-unit budget."""
+
+    __slots__ = ("mem", "int_", "br")
+
+    def __init__(self, config: MachineConfig):
+        self.mem = config.memory_ports
+        self.int_ = config.int_units
+        self.br = config.branch_units
+
+
+class InOrderSimulator:
+    """Runs a finalised program on the in-order SMT machine model."""
+
+    #: Longest a chaining spawn waits for a free context before being
+    #: dropped (bounds priority inversion and prevents deadlock).
+    SPAWN_WAIT_LIMIT = 1500
+
+    def __init__(self, program: Program, heap: Heap, config: MachineConfig,
+                 spawning: bool = True, max_cycles: int = 200_000_000):
+        if not program.finalized:
+            program.finalize()
+        self.program = program
+        self.heap = heap
+        self.config = config
+        self.spawning = spawning
+        self.max_cycles = max_cycles
+        self.memory = MemorySystem(config)
+        self.predictor = GsharePredictor(
+            config.gshare_entries, config.btb_entries, config.btb_ways,
+            config.hardware_contexts)
+        self.stats = SimStats(self.memory)
+        self.contexts: List[Optional[HWThread]] = (
+            [None] * config.hardware_contexts)
+        # Outstanding main-thread misses: heap of completion cycles.
+        self._main_misses: List[int] = []
+        self._next_tid = 0
+        self._rr = 1  # round-robin pointer over speculative contexts
+        # Speculative threads parked waiting for a free context.
+        self._context_waiters: List[HWThread] = []
+        # Dynamic chk.c throttling (Section 4.4.1 future work): per-trigger
+        # fire counts, the partial-hit baseline at first fire, and the set
+        # of suppressed triggers.
+        self._chk_fires: Dict[int, int] = {}
+        self._chk_partials_at_first: Dict[int, int] = {}
+        self._chk_suppressed: set = set()
+
+    # -- context management -------------------------------------------------------
+
+    def _on_reap(self, slot: int, now: int) -> None:
+        """Hook invoked when a finished speculative thread frees its
+        context (overridden by the tracing simulator)."""
+
+    def _free_slot(self) -> Optional[int]:
+        for slot in range(1, self.config.hardware_contexts):
+            if self.contexts[slot] is None:
+                return slot
+        return None
+
+    def _spawn(self, parent: HWThread, target: int, now: int) -> bool:
+        slot = self._free_slot()
+        if slot is None:
+            self.stats.spawn_failures += 1
+            return False
+        self._next_tid += 1
+        child_state = spawn_thread(parent.state, self._next_tid, target)
+        child = HWThread(child_state,
+                         start_cycle=now + self.config.spawn_startup_latency)
+        self.contexts[slot] = child
+        self.stats.spawns += 1
+        return True
+
+    # -- issue logic ---------------------------------------------------------------
+
+    def _blocked_on(self, thread: HWThread, now: int):
+        """If the thread's next instruction can't issue, return
+        (wake_cycle, blocking register); else None."""
+        instr = self.program.code[thread.state.pc]
+        ready = thread.reg_ready
+        worst_cycle, worst_reg = 0, None
+        for reg in instr.reads:
+            t = ready.get(reg, 0)
+            if t > worst_cycle:
+                worst_cycle, worst_reg = t, reg
+        if worst_cycle > now:
+            return worst_cycle, worst_reg
+        return None
+
+    def _issue_thread(self, thread: HWThread, budget: int, now: int,
+                      res: _Resources) -> int:
+        """Issue up to ``budget`` instructions from ``thread`` at ``now``.
+
+        Returns the number issued.  Updates scoreboard, caches, predictor,
+        and may spawn/kill threads.
+        """
+        program = self.program
+        code = program.code
+        state = thread.state
+        config = self.config
+        is_main = state.tid == 0
+        issued = 0
+
+        while issued < budget:
+            instr = code[state.pc]
+            op = instr.op
+
+            # Scoreboard: stall on use of a not-yet-ready register.
+            blocked = self._blocked_on(thread, now)
+            if blocked is not None:
+                thread.wake = blocked[0]
+                break
+
+            # Structural hazards: shared function units.
+            if instr.is_memory:
+                if res.mem == 0:
+                    thread.wake = now + 1
+                    break
+                res.mem -= 1
+            elif instr.is_branch or op in ("chk.c", "spawn"):
+                if res.br == 0:
+                    thread.wake = now + 1
+                    break
+                res.br -= 1
+            else:
+                if res.int_ == 0:
+                    thread.wake = now + 1
+                    break
+                res.int_ -= 1
+
+            # A chaining spawn in a speculative thread *waits* for a free
+            # context (the lightweight exception fires "when a free
+            # hardware context is available", Section 2.1) — this is what
+            # keeps a chain alive as a self-throttling pipeline.  The main
+            # thread never blocks: its chk.c simply does not fire.
+            if (op == "spawn" and not is_main
+                    and self._free_slot() is None):
+                if thread.spawn_parked_pc == state.pc:
+                    # Second attempt with no context: give up — the spawn
+                    # request is ignored (Section 2.1) and the thread runs
+                    # on, which also rules out all-contexts-parked
+                    # deadlock.
+                    thread.spawn_parked_pc = None
+                else:
+                    self.stats.spawn_waits += 1
+                    thread.spawn_parked_pc = state.pc
+                    thread.wake = now + self.SPAWN_WAIT_LIMIT
+                    self._context_waiters.append(thread)
+                    break
+
+            chk_fires = False
+            if op == "chk.c":
+                chk_fires = self.spawning and self._free_slot() is not None
+                if chk_fires and config.dynamic_chk_throttle:
+                    chk_fires = self._throttle_allows(instr.uid)
+
+            pc_before = state.pc
+            result = execute(program, self.heap, state, instr, chk_fires)
+            issued += 1
+            if is_main:
+                self.stats.main_instructions += 1
+            else:
+                self.stats.spec_instructions += 1
+
+            # -- latency & side effects per class ---------------------------------
+            if op == "ld":
+                if result.mem_addr is not None and result.executed:
+                    access = self.memory.access(
+                        result.mem_addr, now, instr.uid, is_main)
+                    thread.reg_ready[instr.dest] = access.ready
+                    thread.reg_level[instr.dest] = access.level
+                    if is_main and access.level != L1:
+                        heapq.heappush(self._main_misses, access.ready)
+                else:
+                    thread.reg_ready[instr.dest] = now + 1
+                    thread.reg_level[instr.dest] = None
+            elif op == "st":
+                if result.mem_addr is not None and result.executed:
+                    self.memory.access(result.mem_addr, now, instr.uid,
+                                       is_main, is_store=True)
+            elif op == "lfetch":
+                if result.mem_addr is not None and result.executed:
+                    self.memory.access(result.mem_addr, now, instr.uid,
+                                       is_main, is_prefetch=True)
+                else:
+                    self.memory.prefetches_dropped += 1
+            elif instr.dest is not None and result.executed:
+                latency = instr.fixed_latency()
+                thread.reg_ready[instr.dest] = now + latency
+                thread.reg_level[instr.dest] = None
+
+            # -- control flow ------------------------------------------------------
+            if op == "br.cond":
+                penalty = self.predictor.predict_and_update(
+                    pc_before, state.tid, bool(result.taken))
+                if penalty < 0:
+                    self.stats.mispredicts += 1
+                    thread.stall_until = now + 1 + config.mispredict_penalty
+                    thread.wake = thread.stall_until
+                    break
+                if result.taken:
+                    if penalty > 0:
+                        thread.stall_until = now + 1 + penalty
+                        thread.wake = thread.stall_until
+                    break  # taken branch ends this thread's fetch group
+            elif op in ("br", "br.call", "br.call.ind", "br.ret"):
+                if state.halted:
+                    break
+                break  # control transfer ends the fetch group
+            elif op == "chk.c" and result.chk_taken:
+                # Lightweight exception: pipeline flush, resume in the stub.
+                self.stats.chk_fired += 1
+                thread.stall_until = now + config.chk_flush_penalty
+                thread.wake = thread.stall_until
+                break
+            elif op == "chk.c":
+                self.stats.chk_ignored += 1
+            elif op == "spawn":
+                if result.spawn_target is not None:
+                    self._spawn(thread, result.spawn_target, now)
+            elif op in ("kill", "halt"):
+                break
+
+            if state.done:
+                break
+
+        if issued and not state.done and thread.wake <= now:
+            thread.wake = now + 1
+        return issued
+
+    def _total_partials(self) -> int:
+        return sum(self.memory.partial_counts.values())
+
+    def _throttle_allows(self, chk_uid: int) -> bool:
+        """Dynamic coverage/timeliness monitor for one trigger.
+
+        Samples the first N fires; if the main thread gained fewer than
+        ``throttle_min_benefit`` partial hits per fire — the speculative
+        threads are not getting useful prefetches in flight — the trigger
+        is suppressed for the rest of the run (its chk.c "returns no
+        available context").
+        """
+        if chk_uid in self._chk_suppressed:
+            return False
+        config = self.config
+        fires = self._chk_fires.get(chk_uid, 0)
+        if fires == 0:
+            self._chk_partials_at_first[chk_uid] = self._total_partials()
+        elif fires >= config.throttle_sample_fires:
+            gained = (self._total_partials()
+                      - self._chk_partials_at_first[chk_uid])
+            if gained / fires < config.throttle_min_benefit:
+                self._chk_suppressed.add(chk_uid)
+                return False
+        self._chk_fires[chk_uid] = fires + 1
+        return True
+
+    # -- accounting -----------------------------------------------------------------
+
+    def _main_category(self, main: Optional[HWThread], issued_main: int,
+                       now: int) -> str:
+        misses = self._main_misses
+        while misses and misses[0] <= now:
+            heapq.heappop(misses)
+        if issued_main > 0:
+            return "CacheExec" if misses else "Exec"
+        if main is None or main.state.done:
+            return "Other"
+        if main.stall_until > now:
+            return "Other"  # flush/redirect bubble
+        blocked = self._blocked_on(main, now)
+        if blocked is not None:
+            level = main.reg_level.get(blocked[1])
+            if level == L1:
+                return "Exec"  # short L1-hit interlock: pipeline still busy
+            if level in STALL_CATEGORY:
+                return STALL_CATEGORY[level]
+            return "Other"
+        return "Other"  # lost fetch slots to other threads, etc.
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self) -> SimStats:
+        """Simulate until the main thread halts; returns the statistics."""
+        program = self.program
+        config = self.config
+        main_state = ThreadState(
+            tid=0, pc=program.function_entry[program.entry])
+        main = HWThread(main_state)
+        self.contexts[0] = main
+        stats = self.stats
+        now = 0
+
+        while not main.state.done:
+            if now >= self.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_cycles} cycles")
+
+            # Reap finished speculative threads; wake any chain spawner
+            # that was parked waiting for a context.
+            for slot in range(1, config.hardware_contexts):
+                ctx = self.contexts[slot]
+                if ctx is not None and ctx.state.done:
+                    self.contexts[slot] = None
+                    stats.threads_completed += 1
+                    self._on_reap(slot, now)
+                    if self._context_waiters:
+                        for waiter in self._context_waiters:
+                            if not waiter.state.done:
+                                waiter.wake = now
+                        self._context_waiters = []
+
+            # Select up to two issuable threads: the main thread has fetch
+            # priority (speculative threads use *otherwise idle* resources);
+            # speculative contexts share the remaining slot round-robin.
+            candidates: List[HWThread] = []
+            n_ctx = config.hardware_contexts
+            slot_order = [0] + [1 + (self._rr + k - 1) % (n_ctx - 1)
+                                for k in range(1, n_ctx)]
+            for slot in slot_order:
+                ctx = self.contexts[slot]
+                if (ctx is None or ctx.state.done or ctx.stall_until > now
+                        or ctx.wake > now):
+                    continue
+                if self._blocked_on(ctx, now) is None:
+                    candidates.append(ctx)
+                    if len(candidates) == config.max_threads_per_cycle:
+                        break
+            self._rr = self._rr % (n_ctx - 1) + 1
+
+            issued_main = 0
+            if candidates:
+                res = _Resources(config)
+                if len(candidates) == 1:
+                    budget = config.issue_width
+                else:
+                    budget = config.bundle_size
+                for ctx in candidates:
+                    n = self._issue_thread(ctx, budget, now, res)
+                    if ctx is main:
+                        issued_main = n
+
+            stats.charge(self._main_category(main, issued_main, now))
+            if main.state.done:
+                now += 1
+                break
+
+            if candidates:
+                now += 1
+                continue
+
+            # Nothing issuable: skip to the earliest wake-up.
+            wake = _FAR_FUTURE
+            for ctx in self.contexts:
+                if ctx is None or ctx.state.done:
+                    continue
+                w = max(ctx.stall_until, ctx.wake)
+                blocked = self._blocked_on(ctx, now)
+                if blocked is not None:
+                    w = max(w, blocked[0])
+                wake = min(wake, w)
+            if wake == _FAR_FUTURE or wake <= now:
+                wake = now + 1
+            skip = wake - now - 1
+            if skip > 0:
+                stats.charge(self._main_category(main, 0, now), skip)
+            now = wake
+
+        stats.cycles = now
+        stats.mispredicts = self.predictor.mispredicts
+        return stats

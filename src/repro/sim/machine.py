@@ -1,0 +1,55 @@
+"""Top-level simulation facade.
+
+``simulate(program, heap, model="inorder")`` picks the right pipeline model
+and runs the program to completion, returning :class:`SimStats`.  Heaps are
+mutated by program stores, so callers re-create the heap (workloads provide
+a ``build()`` that does both) for every run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .config import MachineConfig, inorder_config, ooo_config
+from .inorder import InOrderSimulator
+from .ooo import OOOSimulator
+from .stats import SimStats
+
+MODELS = ("inorder", "ooo")
+
+
+def make_config(model: str) -> MachineConfig:
+    """Default configuration for a model name."""
+    if model == "inorder":
+        return inorder_config()
+    if model == "ooo":
+        return ooo_config()
+    raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
+
+
+def simulate(program: Program, heap: Heap, model: str = "inorder",
+             config: Optional[MachineConfig] = None, spawning: bool = True,
+             max_cycles: int = 200_000_000) -> SimStats:
+    """Run ``program`` on the selected machine model and return statistics.
+
+    Args:
+        program: a finalised (or finalisable) IR program.
+        heap: its initialised data memory.
+        model: ``"inorder"`` or ``"ooo"``.
+        config: machine configuration; defaults to the Table 1 preset of
+            the chosen model.
+        spawning: when False, ``chk.c`` never fires (used for profiling
+            runs of un-adapted binaries and for baselines).
+        max_cycles: runaway guard.
+    """
+    if config is None:
+        config = make_config(model)
+    if model == "inorder":
+        sim = InOrderSimulator(program, heap, config, spawning, max_cycles)
+    elif model == "ooo":
+        sim = OOOSimulator(program, heap, config, spawning, max_cycles)
+    else:
+        raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
+    return sim.run()

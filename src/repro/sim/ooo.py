@@ -1,0 +1,351 @@
+"""Event-driven out-of-order SMT model (16-stage, 255-ROB, 18-entry RS).
+
+The OOO model exists in the paper to show that dynamic scheduling already
+hides much of the latency SSP targets ("the OOO model has less room for
+improvement via SSP", Section 2.2) — what matters is that the model:
+
+* executes past stalled instructions up to the ROB/RS window, so
+  independent misses overlap (memory-level parallelism),
+* still serialises dependent pointer-chasing loads (dataflow limit),
+* cannot reach beyond a 255-instruction window, so distant misses remain —
+  exactly the ones SSP's long-range prefetching removes (Section 4.4.1).
+
+Implementation: a *compute-at-fetch* timing model.  Instructions execute
+architecturally in program order at fetch (so all values and addresses are
+exact), and timing is derived per instruction:
+
+    ready    = max(completion of producers)
+    start    = first cycle >= max(fetch+1, ready) with a free issue slot
+               (6/cycle shared) and, for memory ops, a free port (2/cycle)
+    complete = start + latency          (loads probe the caches at start)
+    retire   = in order, bounded by retire width
+
+Fetch is bounded by bundle slots (2 bundles/cycle shared across threads),
+the ROB (fetch of instruction *i* waits for retirement of *i - 255*), the
+RS (start of *i* waits for start of *i - 18*), and redirects: a mispredicted
+branch blocks fetch until it *executes* (unlike the in-order model, where
+resolution is immediate).  Threads are interleaved through a priority queue
+on their next fetch cycle, so cross-thread cache interactions happen in
+approximately global time order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..isa.interp import ThreadState, execute, spawn_thread
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .branch import GsharePredictor
+from .caches import L1, MemorySystem
+from .config import MachineConfig
+from .stats import STALL_CATEGORY, SimStats
+
+
+class _OOOThread:
+    """Per-thread OOO timing state."""
+
+    __slots__ = ("state", "fetch_cycle", "reg_complete", "reg_level",
+                 "retire_ring", "start_ring", "last_retire", "retire_count",
+                 "spawn_retries")
+
+    def __init__(self, state: ThreadState, start_cycle: int,
+                 rob: int, rs: int):
+        self.state = state
+        self.fetch_cycle = start_cycle
+        #: register -> completion cycle of its producer.
+        self.reg_complete: Dict[str, int] = {}
+        self.reg_level: Dict[str, Optional[str]] = {}
+        #: retirement times of the last ROB instructions.
+        self.retire_ring: Deque[int] = deque(maxlen=rob)
+        #: issue (leave-RS) times of the last RS instructions.
+        self.start_ring: Deque[int] = deque(maxlen=rs)
+        self.last_retire = start_cycle
+        self.retire_count = 0
+        #: Deferred-spawn retries so far (bounded; see inorder.py).
+        self.spawn_retries = 0
+
+
+class OOOSimulator:
+    """Runs a finalised program on the out-of-order SMT machine model."""
+
+    def __init__(self, program: Program, heap: Heap, config: MachineConfig,
+                 spawning: bool = True, max_cycles: int = 200_000_000):
+        if not program.finalized:
+            program.finalize()
+        self.program = program
+        self.heap = heap
+        self.config = config
+        self.spawning = spawning
+        self.max_cycles = max_cycles
+        self.memory = MemorySystem(config)
+        self.predictor = GsharePredictor(
+            config.gshare_entries, config.btb_entries, config.btb_ways,
+            config.hardware_contexts * 8)
+        self.stats = SimStats(self.memory)
+        self._issue_used: Dict[int, int] = {}
+        self._port_used: Dict[int, int] = {}
+        self._fetch_used: Dict[int, int] = {}
+        self._live_threads = 0
+        self._next_tid = 0
+
+    # -- per-cycle resource pools ---------------------------------------------------
+
+    def _take_slot(self, used: Dict[int, int], cycle: int, cap: int) -> int:
+        """First cycle >= ``cycle`` with a free slot; takes it."""
+        while used.get(cycle, 0) >= cap:
+            cycle += 1
+        used[cycle] = used.get(cycle, 0) + 1
+        return cycle
+
+    # -- instruction timing -----------------------------------------------------------
+
+    def _time_instruction(self, thread: _OOOThread, instr, fetch: int,
+                          mem_addr: Optional[int], executed: bool,
+                          is_main: bool) -> Tuple[int, int]:
+        """Compute (start, completion) for one fetched instruction."""
+        config = self.config
+        ready = fetch + 1
+        for reg in instr.reads:
+            t = thread.reg_complete.get(reg, 0)
+            if t > ready:
+                ready = t
+        # RS: can't enter scheduling until an RS entry frees.
+        if len(thread.start_ring) == thread.start_ring.maxlen:
+            oldest = thread.start_ring[0]
+            if oldest > ready:
+                ready = oldest
+        start = self._take_slot(self._issue_used, ready, config.issue_width)
+        if instr.is_memory and executed and mem_addr is not None:
+            start = self._take_slot(self._port_used, start,
+                                    config.memory_ports)
+            if instr.op == "ld":
+                access = self.memory.access(mem_addr, start, instr.uid,
+                                            is_main)
+                completion = access.ready
+                thread.reg_level[instr.dest] = access.level
+            elif instr.op == "st":
+                self.memory.access(mem_addr, start, instr.uid, is_main,
+                                   is_store=True)
+                completion = start + 1
+            else:  # lfetch
+                self.memory.access(mem_addr, start, instr.uid, is_main,
+                                   is_prefetch=True)
+                completion = start + 1
+        else:
+            if instr.op == "lfetch" and (mem_addr is None or not executed):
+                self.memory.prefetches_dropped += 1
+            completion = start + (instr.fixed_latency() if executed else 1)
+        thread.start_ring.append(start)
+        if instr.dest is not None and executed:
+            thread.reg_complete[instr.dest] = completion
+            if instr.op != "ld":
+                thread.reg_level[instr.dest] = None
+        return start, completion
+
+    def _retire(self, thread: _OOOThread, completion: int) -> int:
+        """In-order retirement, bounded by retire bandwidth."""
+        retire = max(completion, thread.last_retire)
+        ring = thread.retire_ring
+        # Retire width == issue width: instruction i cannot retire in the
+        # same cycle as instruction i - width.
+        width = self.config.issue_width
+        if thread.retire_count >= width:
+            # ring holds up to ROB entries; the width-th most recent is a
+            # cheap lower bound for bandwidth-limited retirement.
+            if len(ring) >= width and ring[-width] >= retire:
+                retire = ring[-width] + 1
+        ring.append(retire)
+        thread.last_retire = retire
+        thread.retire_count += 1
+        return retire
+
+    # -- main loop -----------------------------------------------------------------------
+
+    def run(self) -> SimStats:
+        """Simulate until the main thread's halt retires."""
+        program = self.program
+        config = self.config
+        code = program.code
+        stats = self.stats
+
+        main_state = ThreadState(tid=0,
+                                 pc=program.function_entry[program.entry])
+        main = _OOOThread(main_state, 0, config.rob_entries,
+                          config.rs_entries)
+        # (next_fetch_cycle, tie, thread)
+        queue: List[Tuple[int, int, _OOOThread]] = [(0, 0, main)]
+        self._live_threads = 1
+        tie = 0
+        end_cycle = None
+        # Outstanding main-thread misses for CacheExec classification.
+        main_misses: List[int] = []
+
+        pops = 0
+        while queue:
+            fetch, _, thread = heapq.heappop(queue)
+            pops += 1
+            if pops % 50_000 == 0:
+                self._prune_pools(fetch)
+            state = thread.state
+            if state.done:
+                self._live_threads -= 1
+                continue
+            if end_cycle is not None and fetch >= end_cycle:
+                self._live_threads -= 1
+                continue
+            if fetch >= self.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_cycles} cycles")
+            is_main = state.tid == 0
+
+            # One fetch group: a bundle of up to 3 instructions.
+            fetch = self._take_slot(self._fetch_used, fetch,
+                                    config.bundles_per_cycle)
+            next_fetch = fetch + 1
+            for _ in range(config.bundle_size):
+                instr = code[state.pc]
+                # ROB occupancy: wait for instruction (i - ROB) to retire.
+                ring = thread.retire_ring
+                if len(ring) == ring.maxlen and ring[0] > fetch:
+                    fetch = ring[0]
+                    next_fetch = fetch + 1
+
+                # Chaining spawns in speculative threads wait (bounded)
+                # for a free context rather than being dropped instantly
+                # (see inorder.py).
+                if (instr.op == "spawn" and state.tid != 0
+                        and self._live_threads >= config.hardware_contexts
+                        and thread.spawn_retries < 96):
+                    stats.spawn_waits += 1
+                    thread.spawn_retries += 1
+                    next_fetch = fetch + 16
+                    break
+
+                chk_fires = False
+                if instr.op == "chk.c":
+                    chk_fires = (self.spawning
+                                 and self._live_threads <
+                                 config.hardware_contexts)
+                pc_before = state.pc
+                result = execute(program, self.heap, state, instr, chk_fires)
+                if is_main:
+                    stats.main_instructions += 1
+                else:
+                    stats.spec_instructions += 1
+
+                start, completion = self._time_instruction(
+                    thread, instr, fetch, result.mem_addr, result.executed,
+                    is_main)
+                retire = self._retire(thread, completion)
+
+                # Figure 10 accounting (main thread, gap-based).
+                if is_main:
+                    prev = thread.retire_ring[-2] if len(
+                        thread.retire_ring) > 1 else 0
+                    gap = retire - prev
+                    if instr.op == "ld" and result.mem_addr is not None:
+                        level = thread.reg_level.get(instr.dest)
+                        if level is not None and level != L1:
+                            heapq.heappush(main_misses, completion)
+                    if gap > 0:
+                        while main_misses and main_misses[0] <= prev:
+                            heapq.heappop(main_misses)
+                        overlapped = bool(main_misses)
+                        stats.charge("CacheExec" if overlapped else "Exec")
+                        if gap > 1:
+                            cause = self._gap_cause(thread, instr)
+                            stats.charge(cause, gap - 1)
+
+                # Control-flow consequences for fetch.
+                op = instr.op
+                if op == "br.cond":
+                    penalty = self.predictor.predict_and_update(
+                        pc_before, state.tid, bool(result.taken))
+                    if penalty < 0:
+                        stats.mispredicts += 1
+                        # Resolved at execute; refill afterwards.
+                        next_fetch = completion + config.mispredict_penalty
+                        break
+                    if result.taken:
+                        next_fetch = fetch + 1 + penalty
+                        break
+                elif op in ("br", "br.call", "br.call.ind", "br.ret"):
+                    if state.halted:
+                        break
+                    break
+                elif op == "chk.c" and result.chk_taken:
+                    stats.chk_fired += 1
+                    # Spawning happens at retirement with an exception-like
+                    # flush (Section 4.4.1).
+                    next_fetch = retire + config.chk_flush_penalty
+                    break
+                elif op == "chk.c":
+                    stats.chk_ignored += 1
+                elif op == "spawn" and result.spawn_target is not None:
+                    thread.spawn_retries = 0
+                    if self._live_threads < config.hardware_contexts:
+                        self._next_tid += 1
+                        child_state = spawn_thread(state, self._next_tid,
+                                                   result.spawn_target)
+                        child = _OOOThread(
+                            child_state,
+                            retire + config.spawn_startup_latency,
+                            config.rob_entries, config.rs_entries)
+                        self._live_threads += 1
+                        stats.spawns += 1
+                        tie += 1
+                        heapq.heappush(queue,
+                                       (child.fetch_cycle, tie, child))
+                    else:
+                        stats.spawn_failures += 1
+                elif op in ("kill", "halt"):
+                    break
+                if state.done:
+                    break
+
+            if state.done:
+                self._live_threads -= 1
+                if is_main:
+                    end_cycle = thread.last_retire
+                    stats.cycles = thread.last_retire
+                else:
+                    stats.threads_completed += 1
+                continue
+            tie += 1
+            heapq.heappush(queue, (max(next_fetch, fetch + 1), tie, thread))
+
+        if stats.cycles == 0:
+            stats.cycles = main.last_retire
+        stats.mispredicts = self.predictor.mispredicts
+        return stats
+
+    def _prune_pools(self, now: int) -> None:
+        """Drop per-cycle resource counters far in the past (memory bound)."""
+        horizon = now - 10_000
+        for pool in (self._issue_used, self._port_used, self._fetch_used):
+            if len(pool) > 200_000:
+                for cycle in [c for c in pool if c < horizon]:
+                    del pool[cycle]
+
+    def _gap_cause(self, thread: _OOOThread, instr) -> str:
+        """Attribute a retire gap to a Figure 10 category."""
+        if instr.op == "ld":
+            level = thread.reg_level.get(instr.dest)
+            if level is not None and level in STALL_CATEGORY:
+                return STALL_CATEGORY[level]
+            return "Exec"
+        # Waiting on a source produced by a load?
+        worst_level, worst_t = None, -1
+        for reg in instr.reads:
+            t = thread.reg_complete.get(reg, 0)
+            if t > worst_t:
+                worst_t = t
+                worst_level = thread.reg_level.get(reg)
+        if worst_level is not None and worst_level in STALL_CATEGORY:
+            return STALL_CATEGORY[worst_level]
+        if instr.is_branch:
+            return "Other"
+        return "Exec"

@@ -1,0 +1,126 @@
+"""Simulation statistics and the Figure 9 / Figure 10 taxonomies.
+
+Figure 10 partitions the main thread's cycles into six categories:
+
+* ``L3``, ``L2``, ``L1`` — stall cycles (no instruction issued) waiting on
+  an access that missed in that cache: an access served by memory missed in
+  L3 and accrues **L3** miss cycles; served by L3 → **L2**; served by L2 →
+  **L1**.
+* ``CacheExec`` — cycles in which the main thread issued instructions while
+  a cache miss was outstanding ("cache hierarchy and instruction issue are
+  both active").
+* ``Exec`` — issue cycles with no outstanding miss.
+* ``Other`` — everything else (branch misprediction bubbles, chk.c/spawn
+  pipeline flushes, SMT fetch contention).
+
+Figure 9 classifies each delinquent-load L1 miss by the level that supplied
+it — L2/L3/memory hit, or the *partial* variants when the line was already
+in transit to L1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .caches import L1, L2, L3, MEM, MemorySystem
+
+CYCLE_CATEGORIES = ("L3", "L2", "L1", "CacheExec", "Exec", "Other")
+
+#: Stall category charged when waiting on data supplied by a given level
+#: (the level it *missed* in is one closer to the core).
+STALL_CATEGORY = {MEM: "L3", L3: "L2", L2: "L1"}
+
+
+class SimStats:
+    """Aggregate results of one simulation run."""
+
+    def __init__(self, memory: MemorySystem):
+        self.memory = memory
+        self.cycles = 0
+        self.main_instructions = 0
+        self.spec_instructions = 0
+        self.cycle_breakdown: Dict[str, int] = {
+            cat: 0 for cat in CYCLE_CATEGORIES}
+        self.chk_fired = 0
+        self.chk_ignored = 0
+        self.spawns = 0
+        self.spawn_failures = 0
+        #: Cycles-worth of deferred chaining spawns (waiting for a context).
+        self.spawn_waits = 0
+        self.threads_completed = 0
+        self.mispredicts = 0
+
+    # -- derived metrics ---------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.main_instructions / self.cycles if self.cycles else 0.0
+
+    def charge(self, category: str, cycles: int = 1) -> None:
+        self.cycle_breakdown[category] += cycles
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        total = sum(self.cycle_breakdown.values()) or 1
+        return {cat: count / total
+                for cat, count in self.cycle_breakdown.items()}
+
+    # -- Figure 9 ------------------------------------------------------------------
+
+    def delinquent_breakdown(self, uids: Iterable[int]) -> Dict[str, float]:
+        """Where the given loads were satisfied when missing in L1.
+
+        Returns fractions of *all accesses* per category (so the categories
+        sum to the L1 miss rate, matching "height of a bar is those loads'
+        miss rate" in Figure 9), with keys ``L2 Hit``, ``Partial L2 Hit``,
+        ``L3 Hit``, ``Partial L3 Hit``, ``Mem Hit``, ``Partial Mem Hit``.
+        """
+        accesses = 0
+        hit = {L2: 0, L3: 0, MEM: 0}
+        partial = {L2: 0, L3: 0, MEM: 0}
+        for uid in uids:
+            stats = self.memory.load_stats.get(uid)
+            if stats is None:
+                continue
+            accesses += stats.accesses
+            for lvl in (L2, L3, MEM):
+                hit[lvl] += stats.hits[lvl]
+                partial[lvl] += stats.partials[lvl]
+        if accesses == 0:
+            return {}
+        out: Dict[str, float] = {}
+        for lvl, label in ((L2, "L2"), (L3, "L3"), (MEM, "Mem")):
+            out[f"{label} Hit"] = hit[lvl] / accesses
+            out[f"Partial {label} Hit"] = partial[lvl] / accesses
+        out["miss rate"] = sum(hit.values()) / accesses + \
+            sum(partial.values()) / accesses
+        return out
+
+    def load_miss_cycles(self, uid: int) -> int:
+        stats = self.memory.load_stats.get(uid)
+        return stats.miss_cycles if stats else 0
+
+    def total_miss_cycles(self) -> int:
+        return sum(s.miss_cycles for s in self.memory.load_stats.values())
+
+    def top_loads_by_miss_cycles(self, limit: Optional[int] = None
+                                 ) -> List[int]:
+        """Static load uids ordered by decreasing miss cycles."""
+        ranked = sorted(self.memory.load_stats.items(),
+                        key=lambda kv: kv[1].miss_cycles, reverse=True)
+        uids = [uid for uid, s in ranked if s.miss_cycles > 0]
+        return uids[:limit] if limit is not None else uids
+
+    def summary(self) -> str:  # pragma: no cover - reporting convenience
+        lines = [
+            f"cycles:             {self.cycles}",
+            f"main instructions:  {self.main_instructions} "
+            f"(IPC {self.ipc:.3f})",
+            f"spec instructions:  {self.spec_instructions}",
+            f"chk.c fired/ignored:{self.chk_fired}/{self.chk_ignored}",
+            f"spawns (failed):    {self.spawns} ({self.spawn_failures})",
+            f"mispredicts:        {self.mispredicts}",
+            "cycle breakdown:    " + ", ".join(
+                f"{cat}={count}" for cat, count in
+                self.cycle_breakdown.items() if count),
+        ]
+        return "\n".join(lines)

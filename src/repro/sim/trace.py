@@ -1,0 +1,126 @@
+"""Thread-context occupancy tracing.
+
+Records, per hardware context, the intervals during which a thread
+occupied it — enough to *see* chaining SP working: the main thread in
+context 0 and a relay of short speculative threads cycling through
+contexts 1-3, far ahead of the main thread's program counter.
+
+``render_gantt`` draws an ASCII occupancy chart; tests use the interval
+data to assert scheduling properties (e.g. that several speculative
+threads were ever alive at once).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .config import MachineConfig, inorder_config
+from .inorder import InOrderSimulator
+from .stats import SimStats
+
+
+class ContextTrace:
+    """Occupancy intervals per hardware context."""
+
+    def __init__(self, num_contexts: int):
+        self.num_contexts = num_contexts
+        #: context -> list of (tid, start_cycle, end_cycle).
+        self.intervals: Dict[int, List[Tuple[int, int, int]]] = {
+            slot: [] for slot in range(num_contexts)}
+        self._open: Dict[int, Tuple[int, int]] = {}
+
+    def occupy(self, slot: int, tid: int, cycle: int) -> None:
+        self._open[slot] = (tid, cycle)
+
+    def release(self, slot: int, cycle: int) -> None:
+        if slot in self._open:
+            tid, start = self._open.pop(slot)
+            self.intervals[slot].append((tid, start, cycle))
+
+    def finish(self, cycle: int) -> None:
+        for slot in list(self._open):
+            self.release(slot, cycle)
+
+    # -- queries -------------------------------------------------------------------
+
+    def thread_count(self) -> int:
+        return sum(len(v) for v in self.intervals.values())
+
+    def max_concurrent_speculative(self) -> int:
+        """Peak number of simultaneously-live speculative threads."""
+        events: List[Tuple[int, int]] = []
+        for slot, spans in self.intervals.items():
+            if slot == 0:
+                continue
+            for _, start, end in spans:
+                events.append((start, 1))
+                events.append((end, -1))
+        events.sort()
+        live = peak = 0
+        for _, delta in events:
+            live += delta
+            peak = max(peak, live)
+        return peak
+
+    def speculative_busy_cycles(self) -> int:
+        return sum(end - start
+                   for slot, spans in self.intervals.items()
+                   if slot != 0 for _, start, end in spans)
+
+    def render_gantt(self, width: int = 72) -> str:
+        """ASCII occupancy chart, one row per hardware context."""
+        horizon = max((end for spans in self.intervals.values()
+                       for _, _, end in spans), default=1)
+        scale = horizon / width
+        lines = [f"cycles 0..{horizon} "
+                 f"({scale:.0f} cycles per column)"]
+        for slot in range(self.num_contexts):
+            row = [" "] * width
+            for tid, start, end in self.intervals[slot]:
+                lo = min(width - 1, int(start / scale))
+                hi = min(width - 1, max(lo, int((end - 1) / scale)))
+                for i in range(lo, hi + 1):
+                    row[i] = "M" if slot == 0 else "#"
+            label = "main " if slot == 0 else f"spec{slot}"
+            lines.append(f"{label} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+class TracingInOrderSimulator(InOrderSimulator):
+    """In-order simulator that records context occupancy."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.trace = ContextTrace(self.config.hardware_contexts)
+        self._now_hint = 0
+
+    def _spawn(self, parent, target, now):  # noqa: D102
+        self._now_hint = now
+        before = [i for i, c in enumerate(self.contexts) if c is None]
+        ok = super()._spawn(parent, target, now)
+        if ok:
+            after = [i for i, c in enumerate(self.contexts) if c is None]
+            (slot,) = set(before) - set(after)
+            self.trace.occupy(slot, self._next_tid, now)
+        return ok
+
+    def _on_reap(self, slot: int, now: int) -> None:  # noqa: D102
+        self.trace.release(slot, now)
+
+    def run(self) -> SimStats:  # noqa: D102
+        self.trace.occupy(0, 0, 0)
+        stats = super().run()
+        self.trace.finish(stats.cycles)
+        return stats
+
+
+def trace_run(program: Program, heap: Heap,
+              config: Optional[MachineConfig] = None,
+              spawning: bool = True) -> Tuple[SimStats, ContextTrace]:
+    """Simulate on the in-order model with context tracing."""
+    sim = TracingInOrderSimulator(program, heap,
+                                  config or inorder_config(), spawning)
+    stats = sim.run()
+    return stats, sim.trace

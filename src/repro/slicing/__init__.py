@@ -1,0 +1,13 @@
+"""Program slicing for speculative precomputation (Section 3.1)."""
+
+from .slicer import ContextSensitiveSlicer, ProgramSlice, SliceSummary
+from .speculative import DEFAULT_COLD_FRACTION, executed_instruction_uids
+from .regional import (RegionSlice, live_in_registers,
+                       merge_region_slices, restrict_to_region)
+
+__all__ = [
+    "ContextSensitiveSlicer", "ProgramSlice", "SliceSummary",
+    "DEFAULT_COLD_FRACTION", "executed_instruction_uids",
+    "RegionSlice", "live_in_registers", "merge_region_slices",
+    "restrict_to_region",
+]

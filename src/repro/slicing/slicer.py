@@ -1,0 +1,371 @@
+"""Context-sensitive backward slicing (Section 3.1).
+
+The slicer computes, for a delinquent load, the set of instructions that
+its *address* computation depends on, following flow and control dependence
+edges backwards.  Interprocedurally it implements the context-sensitive
+equation of [Liao et al., PPoPP'99] quoted in the paper:
+
+    slice(r, [c1..cn]) = slice(r, f)  U  slice(contextmap(f, cn), [c1..cn-1])
+
+i.e. a slice is built only *up the chain of calls on the call stack*:
+within the load's function the intra-procedural slice is taken; every
+formal parameter the slice depends on is mapped to the actual argument at
+the call site on the context, and slicing continues in the caller.
+
+Descents into callees happen through *slice summaries*: when the slice
+reaches a value returned by a call, the callee's return-value summary
+(instructions + the set of formals the return value depends on) is spliced
+in.  Summaries are memoised; recurrences (recursive calls) are resolved by
+the paper's worklist fixed-point: a summary already under construction is
+used approximately, the dependence is recorded, and dependent summaries are
+recomputed until nothing changes.
+
+False dependences are never followed ("Our slicing tool also ignores
+loop-carried anti dependences and output dependences").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..isa import registers as regs
+from ..isa.instructions import Instruction
+from ..isa.program import Program
+from ..analysis.callgraph import CallGraph
+from ..analysis.depgraph import CONTROL, FLOW, DependenceGraph
+
+
+class SliceSummary:
+    """Return-value slice summary of one function.
+
+    Attributes:
+        instructions: uids of the function's own instructions in the slice
+            of its return value.
+        formals: indices of formal parameters the return value depends on
+            (the set *F* in the paper's equation).
+        callees: names of callee functions whose summaries are spliced in.
+    """
+
+    def __init__(self):
+        self.instructions: Set[int] = set()
+        self.formals: Set[int] = set()
+        self.callees: Set[str] = set()
+
+    def key(self) -> Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[str]]:
+        return (frozenset(self.instructions), frozenset(self.formals),
+                frozenset(self.callees))
+
+
+class ProgramSlice:
+    """A backward slice of one delinquent load's address."""
+
+    def __init__(self, load: Instruction, function: str):
+        self.load = load
+        self.function = function
+        #: function name -> uids of that function's instructions in slice.
+        self.instructions: Dict[str, Set[int]] = {function: {load.uid}}
+        #: formal-parameter indices of ``function`` the address depends on.
+        self.formals: Set[int] = set()
+        #: callees whose return-value summaries were spliced in.
+        self.callees: Set[str] = set()
+        #: callers visited while mapping formals up the context chain.
+        self.context_functions: List[str] = []
+        #: One-level recursive context substitutions: (producer uid,
+        #: offset) pairs — the producer's value is the actual argument a
+        #: self-recursive call passes for the formal the load's address
+        #: depends on, so prefetching ``[producer + offset]`` precomputes
+        #: the *next* activation's delinquent access (the
+        #: context-sensitive payoff on recursive code like treeadd).
+        self.substituted_prefetches: List[Tuple[int, int]] = []
+
+    @property
+    def interprocedural(self) -> bool:
+        multi = sum(1 for uids in self.instructions.values() if uids)
+        return multi > 1 or bool(self.callees)
+
+    def size(self) -> int:
+        return sum(len(uids) for uids in self.instructions.values())
+
+    def uids_in(self, function: str) -> Set[int]:
+        return self.instructions.get(function, set())
+
+
+def _formal_index(reg: str) -> Optional[int]:
+    """Argument-register index of ``reg``, if it is one."""
+    if reg.startswith("r") and reg[1:].isdigit():
+        n = int(reg[1:])
+        if regs.FIRST_ARG <= n < regs.FIRST_ARG + regs.MAX_ARGS:
+            return n - regs.FIRST_ARG
+    return None
+
+
+class ContextSensitiveSlicer:
+    """Whole-program slicer with memoised callee summaries."""
+
+    def __init__(self, program: Program, callgraph: CallGraph,
+                 depgraphs: Dict[str, DependenceGraph],
+                 executed_uids: Optional[Set[int]] = None,
+                 max_callee_depth: int = 3):
+        """``depgraphs`` maps function name to its dependence graph.
+
+        ``executed_uids``, when given, restricts slicing to instructions
+        observed executing (control-flow speculative slicing hands this in,
+        Section 3.1.2).  ``max_callee_depth`` bounds summary splicing (the
+        region-graph traversal "stops when it is nested several levels
+        deep").
+        """
+        self.program = program
+        self.callgraph = callgraph
+        self.depgraphs = depgraphs
+        self.executed_uids = executed_uids
+        self.max_callee_depth = max_callee_depth
+        self._summaries: Dict[str, SliceSummary] = {}
+        self._in_progress: List[str] = []       # summary construction stack
+        self._summary_deps: Dict[str, Set[str]] = {}
+
+    # -- public API -----------------------------------------------------------------
+
+    def slice_load_address(self, load: Instruction,
+                           function: str) -> ProgramSlice:
+        """Backward slice of the address operand of ``load``."""
+        result = ProgramSlice(load, function)
+        dg = self.depgraphs[function]
+        seeds = self._address_seed_edges(load, dg)
+        self._slice_in_function(function, seeds, result, depth=0)
+        self._map_formals_up_contexts(result)
+        self._substitute_recursive_contexts(load, function, result)
+        return result
+
+    def _substitute_recursive_contexts(self, load: Instruction,
+                                       function: str,
+                                       result: ProgramSlice) -> None:
+        """One level of the context equation on self-recursive calls.
+
+        When the load's address depends on a formal of a recursive
+        function, ``contextmap`` at each self-call-site names the actual
+        argument — a value computed in *this* activation.  Prefetching
+        ``[actual + offset]`` precomputes the child activation's delinquent
+        load (treeadd: prefetch both subtree roots at entry).  Deeper
+        inlining is what only the hand adaptation performs (Section 4.5).
+        """
+        if not result.formals or not self.callgraph.is_recursive(function):
+            return
+        dg = self.depgraphs[function]
+        offset = load.imm or 0
+        for site in self.callgraph.call_sites_of(function, function):
+            for formal in sorted(result.formals):
+                reg = regs.arg_register(formal)
+                for def_uid in dg.dataflow.defs_reaching_use(site.uid, reg):
+                    producer = dg.instr_of.get(def_uid)
+                    # Look through the argument-setup mov to the real
+                    # producer (its register survives across calls).
+                    hops = 0
+                    while (producer is not None and producer.op == "mov"
+                           and producer.srcs and hops < 4):
+                        defs = dg.dataflow.defs_reaching_use(
+                            producer.uid, producer.srcs[0])
+                        if len(defs) != 1:
+                            break
+                        def_uid = next(iter(defs))
+                        producer = dg.instr_of.get(def_uid)
+                        hops += 1
+                    if producer is None or producer.dest is None:
+                        continue
+                    if not self._allowed(def_uid):
+                        continue
+                    pair = (def_uid, offset)
+                    if pair not in result.substituted_prefetches:
+                        result.substituted_prefetches.append(pair)
+                    self._slice_in_function(function, [def_uid], result,
+                                            depth=0)
+
+    def summary(self, function: str) -> SliceSummary:
+        """Return-value slice summary of ``function`` (fixed point)."""
+        if function in self._summaries and \
+                function not in self._in_progress:
+            return self._summaries[function]
+        if function in self._in_progress:
+            # Recurrence: use the approximate summary already built and
+            # record the dependence for the fixed-point worklist.
+            approx = self._summaries.setdefault(function, SliceSummary())
+            if self._in_progress:
+                self._summary_deps.setdefault(function, set()).add(
+                    self._in_progress[-1])
+            return approx
+
+        self._in_progress.append(function)
+        self._summaries[function] = SliceSummary()
+        summary = self._compute_summary(function)
+        old_key = self._summaries[function].key()
+        self._summaries[function] = summary
+        self._in_progress.pop()
+
+        # Fixed point: if this summary changed while others used its
+        # approximation, recompute the dependents until stable.
+        worklist = list(self._summary_deps.get(function, set())) \
+            if summary.key() != old_key else []
+        iterations = 0
+        while worklist:
+            iterations += 1
+            if iterations > 100 * max(1, len(self.program.functions)):
+                raise RuntimeError("slice-summary fixed point diverged")
+            name = worklist.pop()
+            if name in self._in_progress:
+                continue
+            previous = self._summaries.get(name, SliceSummary()).key()
+            self._in_progress.append(name)
+            self._summaries[name] = self._compute_summary(name)
+            self._in_progress.pop()
+            if self._summaries[name].key() != previous:
+                worklist.extend(self._summary_deps.get(name, set()))
+        return self._summaries[function]
+
+    # -- internals --------------------------------------------------------------------
+
+    def _allowed(self, uid: int) -> bool:
+        return self.executed_uids is None or uid in self.executed_uids
+
+    def _address_seed_edges(self, load: Instruction,
+                            dg: DependenceGraph) -> List[int]:
+        """Defs of the load's *address* registers plus its controllers."""
+        seeds: List[int] = []
+        for edge in dg.preds(load.uid, kinds={FLOW, CONTROL}):
+            seeds.append(edge.src)
+        return seeds
+
+    def _slice_in_function(self, function: str, seeds: List[int],
+                           result: ProgramSlice, depth: int) -> None:
+        """Backward closure over flow+control edges within ``function``,
+        splicing callee summaries for values returned by calls."""
+        dg = self.depgraphs[function]
+        bucket = result.instructions.setdefault(function, set())
+        work = [uid for uid in seeds if self._allowed(uid)]
+        while work:
+            uid = work.pop()
+            if uid in bucket:
+                continue
+            bucket.add(uid)
+            instr = dg.instr_of[uid]
+            if instr.op in ("br.call", "br.call.ind"):
+                self._splice_callee(function, instr, result, depth)
+            # Formal parameter uses surface as flow edges from nothing;
+            # detect them from the instruction's own reads.
+            for reg in instr.reads:
+                formal = _formal_index(reg)
+                if formal is not None and \
+                        not dg.dataflow.defs_reaching_use(uid, reg):
+                    if function == result.function:
+                        result.formals.add(formal)
+            for edge in dg.preds(uid, kinds={FLOW, CONTROL}):
+                if edge.src not in bucket and self._allowed(edge.src):
+                    work.append(edge.src)
+
+    def _splice_callee(self, function: str, call: Instruction,
+                       result: ProgramSlice, depth: int) -> None:
+        """The sliced value flowed out of a call: include the callee's
+        return-value summary and the actual-argument computation."""
+        if depth >= self.max_callee_depth:
+            return
+        if call.op == "br.call":
+            targets = [call.target]
+        else:
+            targets = [s.callee for s in self.callgraph.sites_in[function]
+                       if s.uid == call.uid and s.callee is not None]
+        for callee in targets:
+            if callee is None or callee not in self.depgraphs:
+                continue
+            if self.callgraph.is_recursive(callee):
+                # The tool does not inline recursive chains (Section 4.5:
+                # only hand adaptation performed that); the summary is still
+                # computed for live-in analysis, but instructions are not
+                # spliced beyond the recursion boundary.
+                result.callees.add(callee)
+                continue
+            summary = self.summary(callee)
+            result.callees.add(callee)
+            callee_bucket = result.instructions.setdefault(callee, set())
+            new = summary.instructions - callee_bucket
+            callee_bucket |= summary.instructions
+            result.callees |= summary.callees
+            # Formals of the callee map to actuals at this site: the movs
+            # into arg registers just before the call.
+            dg = self.depgraphs[function]
+            for formal in summary.formals:
+                reg = regs.arg_register(formal)
+                for def_uid in dg.dataflow.defs_reaching_use(call.uid, reg):
+                    self._slice_in_function(function, [def_uid], result,
+                                            depth)
+            # Transitive splicing for the callee's own calls happens when
+            # its summary was computed, so `new` needs no further work.
+            del new
+
+    def _compute_summary(self, function: str) -> SliceSummary:
+        """Intra-procedural slice of the function's return value."""
+        summary = SliceSummary()
+        dg = self.depgraphs.get(function)
+        if dg is None:
+            return summary
+        func = self.program.function(function)
+        # Seeds: every instruction defining the return-value register that
+        # reaches a ret (approximated as every def of RET_VALUE).
+        seeds: List[int] = []
+        for instr in func.instructions():
+            if instr.dest == regs.RET_VALUE:
+                seeds.append(instr.uid)
+        work = [uid for uid in seeds if self._allowed(uid)]
+        while work:
+            uid = work.pop()
+            if uid in summary.instructions:
+                continue
+            summary.instructions.add(uid)
+            instr = dg.instr_of[uid]
+            if instr.op in ("br.call", "br.call.ind"):
+                targets = ([instr.target] if instr.op == "br.call" else
+                           [s.callee for s in
+                            self.callgraph.sites_in[function]
+                            if s.uid == instr.uid and s.callee])
+                for callee in targets:
+                    if callee is None or callee not in self.depgraphs:
+                        continue
+                    summary.callees.add(callee)
+                    callee_summary = self.summary(callee)
+                    for formal in callee_summary.formals:
+                        reg = regs.arg_register(formal)
+                        for def_uid in dg.dataflow.defs_reaching_use(
+                                instr.uid, reg):
+                            if def_uid not in summary.instructions:
+                                work.append(def_uid)
+            for reg in instr.reads:
+                formal = _formal_index(reg)
+                if formal is not None and \
+                        not dg.dataflow.defs_reaching_use(uid, reg):
+                    summary.formals.add(formal)
+            for edge in dg.preds(uid, kinds={FLOW, CONTROL}):
+                if edge.src not in summary.instructions and \
+                        self._allowed(edge.src):
+                    work.append(edge.src)
+        return summary
+
+    def _map_formals_up_contexts(self, result: ProgramSlice) -> None:
+        """Continue the slice in callers for each formal the address
+        depends on — the context part of the slicing equation."""
+        if not result.formals:
+            return
+        paths = self.callgraph.call_paths_to(result.function)
+        for path in paths:
+            for caller, site_uid in reversed(path):
+                if caller not in self.depgraphs:
+                    continue
+                result.context_functions.append(caller)
+                dg = self.depgraphs[caller]
+                for formal in sorted(result.formals):
+                    reg = regs.arg_register(formal)
+                    for def_uid in dg.dataflow.defs_reaching_use(site_uid,
+                                                                 reg):
+                        self._slice_in_function(caller, [def_uid], result,
+                                                depth=0)
+                # Only the innermost caller is mapped precisely; deeper
+                # contexts would need per-level formal tracking, which the
+                # region-based traversal makes unnecessary (it stops growing
+                # once slack suffices).
+                break

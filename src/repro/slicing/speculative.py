@@ -1,0 +1,61 @@
+"""Control-flow speculative slicing (Section 3.1.2).
+
+"This approach, called control-flow speculative slicing, alleviates the
+imprecision problem of static slicing by exploiting block profiling and
+dynamic call graphs.  This control flow information is used to filter out
+unexecuted paths and unrealized calls."
+
+Concretely: instructions in blocks that never executed (or executed below a
+small fraction of the enclosing region's entries) are excluded from every
+slice — speculation is safe because p-slices are not held to correctness
+constraints.  Dynamic call-graph filtering happens in
+:class:`repro.analysis.callgraph.CallGraph` (indirect edges come only from
+observed targets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..isa.program import Program
+
+#: Blocks executed fewer than this fraction of the hottest block of their
+#: function are speculated away from slices.
+DEFAULT_COLD_FRACTION = 0.001
+
+
+def executed_instruction_uids(
+        program: Program,
+        block_freq: Dict[str, Dict[str, int]],
+        cold_fraction: float = DEFAULT_COLD_FRACTION,
+        exec_counts: Optional[Dict[int, int]] = None) -> Set[int]:
+    """The set of instruction uids speculative slicing may include.
+
+    Args:
+        program: the profiled program.
+        block_freq: function -> {block label -> execution count}.
+        cold_fraction: blocks below this fraction of their function's
+            hottest block are filtered out (unexecuted paths).
+        exec_counts: optional per-instruction execution counts; when given,
+            instructions that never executed are excluded even inside warm
+            blocks (e.g. predicated-off code).
+    """
+    allowed: Set[int] = set()
+    for name, func in program.functions.items():
+        freqs = block_freq.get(name, {})
+        hottest = max(freqs.values(), default=0)
+        threshold = hottest * cold_fraction
+        for block in func.blocks:
+            count = freqs.get(block.label, 0)
+            if hottest and count <= threshold:
+                continue
+            for instr in block.instrs:
+                if exec_counts is not None and \
+                        exec_counts.get(instr.uid, 0) == 0 and hottest:
+                    continue
+                allowed.add(instr.uid)
+        if not hottest:
+            # Unprofiled function: keep everything (pure static slicing).
+            for instr in func.instructions():
+                allowed.add(instr.uid)
+    return allowed

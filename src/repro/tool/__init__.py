@@ -1,0 +1,10 @@
+"""The SSP post-pass adaptation tool (the paper's contribution)."""
+
+from .postpass import (
+    RegionDecision,
+    SSPPostPassTool,
+    ToolOptions,
+    ToolResult,
+)
+
+__all__ = ["RegionDecision", "SSPPostPassTool", "ToolOptions", "ToolResult"]

@@ -1,0 +1,122 @@
+"""Command-line interface: ``ssp-postpass``.
+
+Runs the post-pass flow on a named benchmark workload and reports the
+adaptation and its effect::
+
+    ssp-postpass mcf --scale small --model inorder
+    ssp-postpass --list
+    ssp-postpass --experiments figure8 table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..profiling.collect import collect_profile
+from ..sim.machine import simulate
+from ..workloads import PAPER_ORDER, make_workload, workload_names
+from .postpass import SSPPostPassTool
+
+
+def _adapt_and_report(name: str, scale: str, model: str,
+                      show_disassembly: bool) -> int:
+    workload = make_workload(name, scale)
+    program = workload.build_program()
+    print(f"[1/4] profiling {name} ({scale}) on the baseline in-order "
+          "model ...")
+    profile = collect_profile(program, workload.build_heap)
+    print(f"      baseline cycles: {profile.baseline_cycles}, "
+          f"total miss cycles: {profile.total_miss_cycles()}")
+
+    print("[2/4] running the post-pass tool ...")
+    result = SSPPostPassTool().adapt(program, profile)
+    print(f"      delinquent loads: {result.delinquent_uids}")
+    for decision in result.decisions:
+        flag = "*" if decision.selected else " "
+        print(f"     {flag} load {decision.load_uid} {decision.region_name}"
+              f" {decision.kind}: slack/iter="
+              f"{decision.slack_per_iteration:.1f} reduced="
+              f"{decision.reduced_miss_cycles:.0f} "
+              f"threshold={decision.threshold:.0f}")
+    if result.adapted is None:
+        print("      no slices generated")
+        return 1
+    row = result.table2_row()
+    print(f"      slices={row['slices']:.0f} "
+          f"interproc={row['interproc']:.0f} "
+          f"avg size={row['avg_size']:.1f} "
+          f"avg live-ins={row['avg_live_ins']:.1f}")
+
+    print(f"[3/4] simulating the SSP-enhanced binary ({model}) ...")
+    heap = workload.build_heap()
+    stats = simulate(result.program, heap, model)
+    workload.check_output(heap)
+    base = profile.baseline_cycles if model == "inorder" else \
+        simulate(program, workload.build_heap(), model,
+                 spawning=False).cycles
+    print(f"      {model} baseline: {base} cycles; SSP: {stats.cycles} "
+          f"cycles; speedup {base / stats.cycles:.2f}x")
+    print(f"      spawns={stats.spawns} chk fired/ignored="
+          f"{stats.chk_fired}/{stats.chk_ignored} "
+          f"prefetches={stats.memory.prefetches_issued}")
+
+    print("[4/4] done.")
+    if show_disassembly:
+        print()
+        print(result.program.disassemble())
+    return 0
+
+
+def _run_experiments(names: List[str], scale: str) -> int:
+    from ..experiments import ALL_EXPERIMENTS, ExperimentContext
+    context = ExperimentContext(scale)
+    for name in names:
+        runner = ALL_EXPERIMENTS.get(name)
+        if runner is None:
+            print(f"unknown experiment {name!r}; have "
+                  f"{sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        print()
+        print(runner(context=context, scale=scale).format())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ssp-postpass",
+        description="Post-pass binary adaptation for software-based "
+                    "speculative precomputation (PLDI 2002 reproduction).")
+    parser.add_argument("workload", nargs="?",
+                        help="benchmark to adapt (see --list)")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "default"))
+    parser.add_argument("--model", default="inorder",
+                        choices=("inorder", "ooo"))
+    parser.add_argument("--list", action="store_true",
+                        help="list available workloads")
+    parser.add_argument("--disassemble", action="store_true",
+                        help="print the adapted binary")
+    parser.add_argument("--experiments", nargs="+", metavar="EXP",
+                        help="run named experiments (table1, figure2, "
+                             "table2, figure8, figure9, figure10, "
+                             "hand_vs_auto)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in workload_names():
+            marker = "*" if name in PAPER_ORDER else " "
+            print(f" {marker} {name}")
+        return 0
+    if args.experiments:
+        return _run_experiments(args.experiments, args.scale)
+    if not args.workload:
+        parser.print_usage()
+        return 2
+    return _adapt_and_report(args.workload, args.scale, args.model,
+                             args.disassemble)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

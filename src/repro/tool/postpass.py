@@ -1,0 +1,318 @@
+"""The post-pass binary adaptation tool — the paper's contribution.
+
+Drives the full Figure 1 flow on a profiled binary:
+
+1. identify delinquent loads from the cache profile (≥90% coverage),
+2. build the analyses (CFGs, latency-annotated dependence graphs, dynamic
+   call graph, region graph with profiled trip counts),
+3. slice each delinquent load's address (context-sensitive + control-flow
+   speculative slicing),
+4. walk the region graph outward per load, scheduling each candidate region
+   for both basic and chaining SP, and select region + model by the
+   reduced-miss-cycle threshold (Section 3.4.1),
+5. combine slices that share dependence-graph nodes in the same region,
+6. place triggers and emit the SSP-enhanced binary (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instructions import Instruction
+from ..isa.interp import LIB_SLOTS
+from ..isa.program import Program
+from ..analysis.callgraph import CallGraph
+from ..analysis.cfg import CFG
+from ..analysis.depgraph import DependenceGraph
+from ..analysis.regions import LOOP, Region, RegionGraph
+from ..codegen.emit import AdaptedBinary, SSPEmitter
+from ..profiling.delinquent import select_delinquent_loads
+from ..profiling.profile import ProgramProfile
+from ..scheduling.basic import BasicScheduler
+from ..scheduling.chaining import ChainingScheduler
+from ..scheduling.schedule import BASIC, CHAINING, ScheduledSlice
+from ..scheduling.slack import reduced_miss_cycles
+from ..slicing.regional import (
+    RegionSlice,
+    merge_region_slices,
+    restrict_to_region,
+)
+from ..slicing.slicer import ContextSensitiveSlicer
+from ..slicing.speculative import executed_instruction_uids
+from ..triggers.placement import place_triggers
+
+
+@dataclass
+class ToolOptions:
+    """Knobs of the post-pass tool (Section 3.4.1 heuristics)."""
+
+    #: Delinquent-load coverage of total misses.
+    coverage: float = 0.90
+    max_delinquent_loads: int = 10
+    #: reduced-miss-cycle threshold = cutoff_percentage * load miss cycles
+    #: ("the value is calculated as the product of the cutoff percentage
+    #: and the miss cycles from cache profiling").
+    cutoff_percentage: float = 0.10
+    #: "we also stop the traversal of the region graph when it is nested
+    #: several levels deep".
+    max_region_nesting: int = 3
+    #: Trip counts below this use basic SP ("if the trip count is small").
+    small_trip_count: float = 8.0
+    #: "To avoid a slice becoming too big that often leads to wrong
+    #: address calculations".
+    max_slice_size: int = 64
+    max_live_ins: int = LIB_SLOTS
+    #: Ablation: restrict the tool to basic SP (no chaining), to measure
+    #: the paper's claim that "long-range prefetching using chaining
+    #: triggers is the key to high performance".
+    disable_chaining: bool = False
+
+
+@dataclass
+class RegionDecision:
+    """One row of the region/model selection trace (for reports/ablation)."""
+
+    load_uid: int
+    region_name: str
+    kind: str
+    slack_per_iteration: float
+    reduced_miss_cycles: float
+    threshold: float
+    selected: bool
+    reason: str = ""
+
+
+@dataclass
+class ToolResult:
+    """Everything the tool produced."""
+
+    adapted: Optional[AdaptedBinary]
+    delinquent_uids: List[int]
+    decisions: List[RegionDecision] = field(default_factory=list)
+
+    @property
+    def program(self) -> Program:
+        if self.adapted is None:
+            raise ValueError("adaptation produced no slices")
+        return self.adapted.program
+
+    def table2_row(self) -> Dict[str, float]:
+        """#slices, #interprocedural, average size, average #live-ins."""
+        records = self.adapted.records if self.adapted else []
+        n = len(records)
+        return {
+            "slices": n,
+            "interproc": sum(1 for r in records if r.interprocedural),
+            "avg_size": (sum(r.emitted_size for r in records) / n
+                         if n else 0.0),
+            "avg_live_ins": (sum(r.num_live_ins for r in records) / n
+                             if n else 0.0),
+        }
+
+    def kinds(self) -> List[str]:
+        return [r.kind for r in (self.adapted.records
+                                 if self.adapted else [])]
+
+
+class SSPPostPassTool:
+    """Adapts a profiled binary for software-based speculative
+    precomputation."""
+
+    def __init__(self, options: Optional[ToolOptions] = None):
+        self.options = options or ToolOptions()
+
+    # -- the full flow -------------------------------------------------------------
+
+    def adapt(self, program: Program,
+              profile: ProgramProfile) -> ToolResult:
+        """Run the post-pass and return the adapted binary + trace."""
+        opts = self.options
+        if not program.finalized:
+            program.finalize()
+
+        delinquent = select_delinquent_loads(
+            profile, opts.coverage, opts.max_delinquent_loads)
+        result = ToolResult(adapted=None, delinquent_uids=delinquent)
+        if not delinquent:
+            return result
+
+        cfgs: Dict[str, CFG] = {}
+        depgraphs: Dict[str, DependenceGraph] = {}
+        latency = profile.load_latency_map()
+        for name, func in program.functions.items():
+            if not func.blocks:
+                continue
+            cfg = CFG(func)
+            cfgs[name] = cfg
+            depgraphs[name] = DependenceGraph(func, cfg, latency,
+                                              profile.l1_latency)
+        callgraph = CallGraph(program, profile.indirect_targets)
+        region_graph = RegionGraph(program, callgraph, profile.block_freq)
+        executed = executed_instruction_uids(
+            program, profile.block_freq, exec_counts=profile.exec_counts)
+        slicer = ContextSensitiveSlicer(program, callgraph, depgraphs,
+                                        executed)
+
+        locate = self._locate_instructions(program)
+        selections: List[Tuple[RegionSlice, str]] = []
+        for uid in delinquent:
+            if uid not in locate:
+                continue
+            func_name, block_label, instr = locate[uid]
+            if func_name not in depgraphs:
+                continue
+            selection = self._select_region(
+                instr, func_name, block_label, slicer, region_graph,
+                depgraphs, profile, result.decisions)
+            if selection is not None:
+                selections.append(selection)
+
+        merged = self._combine(selections)
+        if not merged:
+            return result
+
+        emitter = SSPEmitter(program)
+        for region_slice, kind in merged:
+            scheduled = self._schedule(region_slice, kind, region_graph,
+                                       depgraphs)
+            if scheduled is None or \
+                    len(scheduled.live_ins) > opts.max_live_ins:
+                continue
+            triggers = place_triggers(program, scheduled, cfgs)
+            if not triggers:
+                continue
+            emitter.add_slice(scheduled, triggers)
+        if not emitter.records:
+            return result
+        result.adapted = emitter.finalize()
+        return result
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _locate_instructions(self, program: Program
+                             ) -> Dict[int, Tuple[str, str, Instruction]]:
+        out: Dict[int, Tuple[str, str, Instruction]] = {}
+        for name, func in program.functions.items():
+            for block in func.blocks:
+                for instr in block.instrs:
+                    out[instr.uid] = (name, block.label, instr)
+        return out
+
+    def _region_uids(self, region: Region,
+                     region_graph: RegionGraph) -> set:
+        return {i.uid for i in region_graph.instructions_in(region)}
+
+    def _select_region(self, load: Instruction, func_name: str,
+                       block_label: str,
+                       slicer: ContextSensitiveSlicer,
+                       region_graph: RegionGraph,
+                       depgraphs: Dict[str, DependenceGraph],
+                       profile: ProgramProfile,
+                       decisions: List[RegionDecision]
+                       ) -> Optional[Tuple[RegionSlice, str]]:
+        """Region-based traversal with the reduced-miss-cycle threshold."""
+        opts = self.options
+        program_slice = slicer.slice_load_address(load, func_name)
+        miss_cycles = profile.miss_cycles_of(load.uid)
+        executions = max(1, profile.executions_of(load.uid))
+        miss_per_iteration = miss_cycles / executions
+        threshold = opts.cutoff_percentage * miss_cycles
+
+        start = region_graph.region_of_block(func_name, block_label)
+        best: Optional[Tuple[float, RegionSlice, str]] = None
+        for depth, region in enumerate(region_graph.outward_chain(start)):
+            if depth >= opts.max_region_nesting:
+                break
+            region_slice = restrict_to_region(
+                program_slice, region, region_graph, depgraphs)
+            if region_slice is None:
+                continue
+            if region_slice.size() > opts.max_slice_size:
+                break
+            region_uids = self._region_uids(region, region_graph)
+            candidates = self._score_models(region_slice, region,
+                                            region_uids, profile,
+                                            miss_per_iteration)
+            for kind, scheduled, reduced in candidates:
+                selected = reduced >= threshold
+                decisions.append(RegionDecision(
+                    load_uid=load.uid, region_name=region.name, kind=kind,
+                    slack_per_iteration=scheduled.slack_per_iteration,
+                    reduced_miss_cycles=reduced, threshold=threshold,
+                    selected=False))
+            kind, scheduled, reduced = self._choose_model(
+                candidates, region)
+            if best is None or reduced > best[0]:
+                best = (reduced, region_slice, kind)
+            if reduced >= threshold:
+                decisions[-1].selected = True
+                decisions[-1].reason = "threshold met"
+                return region_slice, kind
+        if best is not None and best[0] > 0:
+            # "If none of the regions reduce the miss cycles beyond the
+            # threshold percentage, we pick the region with the largest
+            # percentage of miss cycles."
+            decisions.append(RegionDecision(
+                load_uid=load.uid, region_name=best[1].region.name,
+                kind=best[2], slack_per_iteration=0.0,
+                reduced_miss_cycles=best[0], threshold=threshold,
+                selected=True, reason="best effort"))
+            return best[1], best[2]
+        return None
+
+    def _score_models(self, region_slice: RegionSlice, region: Region,
+                      region_uids: set, profile: ProgramProfile,
+                      miss_per_iteration: float
+                      ) -> List[Tuple[str, ScheduledSlice, float]]:
+        entries = max(1, region.entries or 1)
+        trips = max(1.0, region.trip_count)
+        out: List[Tuple[str, ScheduledSlice, float]] = []
+        basic = BasicScheduler().schedule(region_slice, region_uids)
+        out.append((BASIC, basic, entries * reduced_miss_cycles(
+            basic.slack_per_iteration, trips, miss_per_iteration)))
+        if region.kind == LOOP and not self.options.disable_chaining:
+            chain = ChainingScheduler().schedule(region_slice, region_uids)
+            out.append((CHAINING, chain, entries * reduced_miss_cycles(
+                chain.slack_per_iteration, trips, miss_per_iteration)))
+        return out
+
+    def _choose_model(self, candidates, region: Region):
+        """Basic vs chaining (Section 3.4.1): small trip counts or a larger
+        basic slack pick basic SP; otherwise chaining."""
+        by_kind = {kind: (kind, sched, reduced)
+                   for kind, sched, reduced in candidates}
+        if CHAINING not in by_kind:
+            return by_kind[BASIC]
+        basic = by_kind[BASIC]
+        chain = by_kind[CHAINING]
+        if region.trip_count < self.options.small_trip_count:
+            return basic
+        if basic[1].slack_per_iteration > chain[1].slack_per_iteration:
+            return basic
+        return chain
+
+    def _combine(self, selections: List[Tuple[RegionSlice, str]]
+                 ) -> List[Tuple[RegionSlice, str]]:
+        """Merge slices that share a region (and thus dependence nodes)."""
+        groups: Dict[str, List[Tuple[RegionSlice, str]]] = {}
+        for region_slice, kind in selections:
+            groups.setdefault(region_slice.region.name, []).append(
+                (region_slice, kind))
+        out: List[Tuple[RegionSlice, str]] = []
+        for items in groups.values():
+            slices = [rs for rs, _ in items]
+            kinds = {kind for _, kind in items}
+            merged = merge_region_slices(slices)
+            kind = CHAINING if CHAINING in kinds else BASIC
+            out.append((merged, kind))
+        return out
+
+    def _schedule(self, region_slice: RegionSlice, kind: str,
+                  region_graph: RegionGraph,
+                  depgraphs: Dict[str, DependenceGraph]
+                  ) -> Optional[ScheduledSlice]:
+        region_uids = self._region_uids(region_slice.region, region_graph)
+        if kind == CHAINING:
+            return ChainingScheduler().schedule(region_slice, region_uids)
+        return BasicScheduler().schedule(region_slice, region_uids)

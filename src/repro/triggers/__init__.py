@@ -1,0 +1,7 @@
+"""Trigger identification and placement (Section 3.3)."""
+
+from .placement import TriggerPoint, place_triggers
+from .mincut import edge_frequencies, optimal_trigger_cut
+
+__all__ = ["TriggerPoint", "place_triggers", "edge_frequencies",
+           "optimal_trigger_cut"]

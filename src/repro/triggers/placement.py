@@ -1,0 +1,132 @@
+"""Trigger-point placement in the main thread (Section 3.3).
+
+"The set of triggers should form a cut set on the control flow graph to
+ensure that each execution path leading to the delinquent load has only one
+trigger point. ... we only consider the nodes that control-dominate the
+delinquent loads as potential trigger points ... the tool would first place
+the trigger after the instruction that produces the last live-in to the
+slice, and then move the trigger points to the immediate control dominant
+nodes if the slack value of the immediate dominant node remains the same."
+
+Placement policy implemented here:
+
+* **chaining SP on a loop** — one trigger on every loop-entry edge (the cut
+  set over paths into the loop), positioned in the predecessor block after
+  the last live-in producer; hoisted to dominating blocks only when that
+  does not move it past a live-in producer.
+* **basic SP on a loop** — a trigger at the top of the loop header: the
+  main thread re-triggers every iteration for the next one (Section 3.2.2).
+* **any SP on a procedure** — a trigger in the entry block after the last
+  live-in producer (for formals, after the parameter copies).
+
+``minimizing the live-in copying takes precedence over increasing the
+slack``: the trigger is never hoisted above a live-in def.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..isa.program import Function, Program
+from ..analysis.cfg import CFG
+from ..analysis.dataflow import instruction_defs
+from ..analysis.regions import LOOP
+from ..scheduling.schedule import BASIC, CHAINING, ScheduledSlice
+
+
+class TriggerPoint:
+    """Where a chk.c goes: before ``function.block.instrs[index]``."""
+
+    def __init__(self, function: str, block: str, index: int):
+        self.function = function
+        self.block = block
+        self.index = index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TriggerPoint({self.function}:{self.block}@{self.index})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, TriggerPoint)
+                and (self.function, self.block, self.index)
+                == (other.function, other.block, other.index))
+
+    def __hash__(self) -> int:
+        return hash((self.function, self.block, self.index))
+
+
+def _last_live_in_def_index(func: Function, label: str,
+                            live_ins: Set[str]) -> Optional[int]:
+    """Index just *after* the last def of any live-in in the block."""
+    block = func.block(label)
+    last = None
+    for i, instr in enumerate(block.instrs):
+        for reg in instruction_defs(instr):
+            if reg in live_ins:
+                last = i
+    return None if last is None else last + 1
+
+
+def _place_in_block(func: Function, label: str,
+                    live_ins: Set[str]) -> TriggerPoint:
+    """Trigger after the last live-in producer in ``label`` (or at the
+    block end, before its terminator, when none is produced there)."""
+    block = func.block(label)
+    after_def = _last_live_in_def_index(func, label, live_ins)
+    if after_def is not None:
+        return TriggerPoint(func.name, label, after_def)
+    end = len(block.instrs)
+    if block.instrs and (block.instrs[-1].is_branch
+                         or block.instrs[-1].is_terminator):
+        end -= 1
+    return TriggerPoint(func.name, label, end)
+
+
+def _hoisted_placement(func: Function, cfg: CFG, start_label: str,
+                       live_ins: Set[str]) -> TriggerPoint:
+    """Place after the last live-in producer, hoisting up the dominator
+    chain ("move the trigger points to the immediate control dominant
+    nodes").
+
+    Walks from ``start_label`` toward the entry; the innermost dominating
+    block that produces a live-in hosts the trigger, immediately after
+    that producer — the earliest point where all live-ins exist, which
+    maximises slack (e.g. launching a chain *before* a recursive descent
+    whose return leads to the sliced loop).
+    """
+    from ..analysis.dominance import dominator_tree
+
+    dom = dominator_tree(cfg)
+    for label in dom.dominators_of(start_label):
+        if not func.has_block(label):
+            continue
+        idx = _last_live_in_def_index(func, label, live_ins)
+        if idx is not None:
+            return TriggerPoint(func.name, label, idx)
+    return _place_in_block(func, start_label, live_ins)
+
+
+def place_triggers(program: Program, scheduled: ScheduledSlice,
+                   cfgs: Dict[str, CFG]) -> List[TriggerPoint]:
+    """Trigger points for one scheduled slice."""
+    region = scheduled.region_slice.region
+    func = program.function(region.function)
+    cfg = cfgs[region.function]
+    live_ins = set(scheduled.live_ins)
+
+    if region.kind == LOOP and scheduled.kind == CHAINING:
+        header = region.loop.header
+        entry_preds = [p for p in cfg.predecessors(header)
+                       if p not in region.blocks]
+        if not entry_preds:
+            entry_preds = [func.entry.label]
+        points = {_hoisted_placement(func, cfg, pred, live_ins)
+                  for pred in set(entry_preds)}
+        return sorted(points, key=lambda p: (p.block, p.index))
+
+    if region.kind == LOOP and scheduled.kind == BASIC:
+        # Per-iteration trigger at the loop header (live-in carried values
+        # are available at the top of every iteration).
+        return [TriggerPoint(func.name, region.loop.header, 0)]
+
+    # Procedure region: after the last live-in producer in the entry block.
+    return [_place_in_block(func, func.entry.label, live_ins)]

@@ -1,0 +1,22 @@
+"""The seven pointer-intensive benchmark kernels (Section 4.1)."""
+
+from .base import SCALES, Workload, make_workload, register, workload_names
+from .mcf import MCFWorkload
+from .vpr import VPRWorkload
+from .em3d import EM3DWorkload
+from .mst import MSTWorkload
+from .health import HealthWorkload
+from .treeadd import TreeAddBFWorkload, TreeAddDFWorkload
+from .hand import HandHealthWorkload, HandMCFWorkload
+
+#: Benchmark order used in the paper's figures.
+PAPER_ORDER = ["em3d", "health", "mst", "treeadd.df", "treeadd.bf",
+               "mcf", "vpr"]
+
+__all__ = [
+    "SCALES", "Workload", "make_workload", "register", "workload_names",
+    "MCFWorkload", "VPRWorkload", "EM3DWorkload", "MSTWorkload",
+    "HealthWorkload", "TreeAddBFWorkload", "TreeAddDFWorkload",
+    "HandHealthWorkload", "HandMCFWorkload",
+    "PAPER_ORDER",
+]

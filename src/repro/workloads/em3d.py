@@ -1,0 +1,120 @@
+"""em3d (Olden) — electromagnetic wave propagation on a bipartite graph.
+
+Each E-node's value is recomputed from the H-nodes it depends on, reached
+through a per-node ``from`` pointer array; the E-node list itself is a
+linked list laid out in allocation-shuffled order:
+
+    for node in e_nodes:                     # pointer-chased list
+        value = 0
+        for j in range(DEGREE):              # unrolled (fixed degree)
+            value += node->coeffs[j] * node->from[j]->value
+        node->value = value
+
+The ``from[j]->value`` loads are the delinquent loads (random H-nodes);
+the list-walk load ``node->next`` is delinquent too and *carries* the
+chain, so the chaining scheduler must predict the spawn condition
+(``node != 0``) to keep the spawn ahead of the miss (Section 3.2.1.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..isa.builder import FunctionBuilder
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .base import Workload, register
+
+E_NODE_BYTES = 64
+H_NODE_BYTES = 64
+OFF_NEXT = 0
+OFF_VALUE = 8
+OFF_COEFFS = 16       # pointer to coeff array
+OFF_FROM = 24         # pointer to from-node array
+DEGREE = 3
+
+
+@register
+class EM3DWorkload(Workload):
+    name = "em3d"
+    description = "bipartite E/H node update with indirection arrays"
+    suite = "Olden"
+
+    PARAMS = {
+        "tiny": dict(enodes=100, hnodes=128, iters=1),
+        "small": dict(enodes=600, hnodes=600, iters=1),
+        "default": dict(enodes=1500, hnodes=1500, iters=2),
+    }
+
+    def __init__(self, scale: str = "default", seed: int = 20020617):
+        super().__init__(scale, seed)
+        p = self.PARAMS[scale]
+        self.enodes = p["enodes"]
+        self.hnodes = p["hnodes"]
+        self.iters = p["iters"]
+
+    def _build_layout(self, heap: Heap, rng: random.Random) -> dict:
+        hnodes = [heap.alloc(H_NODE_BYTES, align=64)
+                  for _ in range(self.hnodes)]
+        hvalues = {}
+        for h in hnodes:
+            hvalues[h] = rng.randrange(1, 64)
+            heap.store(h + OFF_VALUE, hvalues[h])
+        enodes = [heap.alloc(E_NODE_BYTES, align=64)
+                  for _ in range(self.enodes)]
+        rng.shuffle(enodes)
+        expected = 0
+        for i, e in enumerate(enodes):
+            nxt = enodes[i + 1] if i + 1 < len(enodes) else 0
+            heap.store(e + OFF_NEXT, nxt)
+            coeffs = heap.alloc(DEGREE * 8, align=64)
+            froms = heap.alloc(DEGREE * 8, align=64)
+            heap.store(e + OFF_COEFFS, coeffs)
+            heap.store(e + OFF_FROM, froms)
+            value = 0
+            for j in range(DEGREE):
+                c = rng.randrange(1, 8)
+                h = rng.choice(hnodes)
+                heap.store(coeffs + j * 8, c)
+                heap.store(froms + j * 8, h)
+                value += c * hvalues[h]
+            expected += self.iters * value
+        out = heap.alloc(8)
+        return {"head": enodes[0], "out": out, "expected": expected}
+
+    def expected_output(self, layout: dict) -> Optional[int]:
+        return layout["expected"]
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        total = fb.mov_imm(0, dest="r110")
+        iters = fb.mov_imm(self.iters, dest="r111")
+
+        fb.label("iter_loop")
+        fb.mov_imm(layout["head"], dest="r100")        # node cursor
+        fb.nop()                                      # trigger slot
+        fb.label("node_loop")
+        coeffs = fb.load("r100", OFF_COEFFS, dest="r101")
+        froms = fb.load("r100", OFF_FROM, dest="r102")
+        value = fb.mov_imm(0, dest="r103")
+        for j in range(DEGREE):
+            c = fb.load("r101", j * 8)
+            h = fb.load("r102", j * 8)
+            hv = fb.load(h, OFF_VALUE)                # delinquent
+            term = fb.mul(c, hv)
+            fb.add("r103", term, dest="r103")
+        fb.store("r100", "r103", OFF_VALUE)
+        fb.add("r110", "r103", dest="r110")
+        fb.load("r100", OFF_NEXT, dest="r100")          # chase the list
+        p = fb.cmp("ne", "r100", imm=0)
+        fb.br_cond(p, "node_loop")
+        fb.sub("r111", imm=1, dest="r111")
+        p2 = fb.cmp("gt", "r111", imm=0)
+        fb.br_cond(p2, "iter_loop")
+
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, "r110")
+        fb.halt()
+        return prog

@@ -1,0 +1,173 @@
+"""Hand-adapted SSP binaries for mcf and health (Section 4.5).
+
+"Wang et al. performed hand adaptation on three memory-intensive benchmarks
+for speculative precomputation [31].  In contrast, we use the automated
+binary adaptation tool ... The common programs from both works are mcf and
+health."
+
+The hand versions encode what the tool cannot do automatically:
+
+* **mcf.hand** — the chaining slice covers *two* arc iterations per
+  speculative thread, halving the chain's spawn/copy overhead and doubling
+  its run-ahead rate.
+* **health.hand** — the slice inlines one level of the recursive call
+  structure ("the inlining of a few levels of recursive function calls by
+  the programmer's hand adaptation to create large enough slack"): besides
+  chain-walking the current village's patients, it prefetches all four
+  child villages and their patient-list heads.
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import FunctionBuilder
+from ..isa.program import Program
+from .base import register
+from .health import (
+    CHILDREN,
+    OFF_BASE,
+    OFF_CHILD,
+    OFF_P_NEXT,
+    OFF_P_TIME,
+    OFF_PATIENTS,
+    HealthWorkload,
+)
+from .mcf import ARC_STRIDE, OFF_COST, OFF_POTENTIAL, OFF_TAIL, MCFWorkload
+
+
+@register
+class HandMCFWorkload(MCFWorkload):
+    """mcf with the hand-tuned chaining adaptation attached."""
+
+    name = "mcf.hand"
+    description = "hand-adapted mcf: two iterations per chained thread"
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        fb.mov_imm(0, dest="r110")
+        fb.mov_imm(self.passes, dest="r111")
+
+        fb.label("pass_loop")
+        fb.mov_imm(layout["arcs"], dest="r100")
+        fb.mov_imm(layout["end"], dest="r101")
+        fb.chk_c("hand_stub")                         # hand trigger
+        fb.label("arc_loop")
+        t = fb.mov("r100")
+        u = fb.load(t, OFF_TAIL)
+        pot = fb.load(u, OFF_POTENTIAL)
+        cost = fb.load(t, OFF_COST)
+        red = fb.add(pot, cost)
+        fb.add("r110", red, dest="r110")
+        fb.add("r100", imm=ARC_STRIDE, dest="r100")
+        p = fb.cmp("lt", "r100", "r101")
+        fb.br_cond(p, "arc_loop")
+        fb.sub("r111", imm=1, dest="r111")
+        p2 = fb.cmp("gt", "r111", imm=0)
+        fb.br_cond(p2, "pass_loop")
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, "r110")
+        fb.halt()
+
+        # -- hand attachment: 2 iterations per chained thread ------------------
+        fb.label("hand_stub")
+        fb.lib_store(0, "r100")
+        fb.lib_store(1, "r101")
+        fb.spawn("hand_slice")
+        fb.rfi()
+        fb.label("hand_slice")
+        fb.lib_load(0, dest="r100")
+        fb.lib_load(1, dest="r101")
+        t1 = fb.mov("r100", dest="r120")
+        t2 = fb.add("r100", imm=ARC_STRIDE, dest="r121")
+        fb.add("r100", imm=2 * ARC_STRIDE, dest="r100")
+        fb.lib_store(0, "r100")
+        fb.lib_store(1, "r101")
+        pc = fb.cmp("lt", "r100", "r101")
+        from ..isa.instructions import Instruction
+        fb.emit(Instruction(op="spawn", target="hand_slice", pred=pc))
+        u1 = fb.load("r120", OFF_TAIL, dest="r122")
+        u2 = fb.load("r121", OFF_TAIL, dest="r123")
+        fb.prefetch("r122", OFF_POTENTIAL)
+        fb.prefetch("r123", OFF_POTENTIAL)
+        fb.kill()
+        return prog
+
+
+@register
+class HandHealthWorkload(HealthWorkload):
+    """health with one recursion level inlined into the hand slice."""
+
+    name = "health.hand"
+    description = "hand-adapted health: child villages prefetched too"
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+        from ..isa.instructions import Instruction
+
+        sim = FunctionBuilder(prog.add_function("sim", num_params=1))
+        (village,) = sim.params(1)
+        pz = sim.cmp("eq", village, imm=0)
+        sim.br_cond(pz, "leaf")
+        sim.mov_imm(0, dest="r110")
+        sim.load(village, OFF_PATIENTS, dest="r111")
+        base = sim.load(village, OFF_BASE, dest="r112")
+        sim.mov(village, dest="r119")
+        sim.chk_c("hand_stub")                        # hand trigger
+        for i in range(CHILDREN):
+            child = sim.load(village, OFF_CHILD + i * 8)
+            sub = sim.call_fresh("sim", [child])
+            sim.add("r110", sub, dest="r110")
+        pempty = sim.cmp("eq", "r111", imm=0)
+        sim.br_cond(pempty, "done")
+        sim.label("patient_loop")
+        t = sim.load("r111", OFF_P_TIME)
+        sim.add("r110", t, dest="r110")
+        sim.load("r111", OFF_P_NEXT, dest="r111")
+        pp = sim.cmp("ne", "r111", imm=0)
+        sim.br_cond(pp, "patient_loop")
+        sim.label("done")
+        result = sim.add("r110", "r112")
+        sim.ret(result)
+        sim.label("leaf")
+        sim.ret(sim.mov_imm(0))
+
+        # -- hand attachment ------------------------------------------------------
+        # Stub: pass the patient cursor and the village itself.
+        sim.label("hand_stub")
+        sim.lib_store(0, "r111")
+        sim.lib_store(1, "r119")
+        sim.spawn("hand_slice")
+        sim.rfi()
+        # Slice: one recursion level inlined — prefetch every child village
+        # and its patient-list head, then chain-walk this village's own
+        # patient list.
+        sim.label("hand_slice")
+        sim.lib_load(0, dest="r111")
+        sim.lib_load(1, dest="r119")
+        # Chain over the patient list first (critical part), handing the
+        # successor off before blocking on the inlined-child prefetches.
+        pk = sim.cmp("eq", "r111", imm=0)
+        sim.emit(Instruction(op="kill", pred=pk))
+        t2 = sim.load("r111", OFF_P_NEXT, dest="r118")
+        sim.lib_store(0, "r118")
+        sim.mov_imm(0, dest="r117")
+        sim.lib_store(1, "r117")
+        sim.spawn("hand_slice")
+        sim.prefetch("r111", OFF_P_TIME)
+        # Inlined recursion level: only the head thread (spawned from the
+        # stub with the village pointer) prefetches the child villages'
+        # lines — the child pointers sit on the (warm) parent line, so
+        # these loads are cheap and the thread frees its context quickly.
+        pv = sim.cmp("ne", "r119", imm=0)
+        for i in range(CHILDREN):
+            child = sim.load("r119", OFF_CHILD + i * 8, pred=pv)
+            sim.prefetch(child, OFF_PATIENTS, pred=pv)
+        sim.kill()
+
+        fb = FunctionBuilder(prog.add_function("main"))
+        root = fb.mov_imm(layout["root"])
+        total = fb.call_fresh("sim", [root])
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, total)
+        fb.halt()
+        return prog

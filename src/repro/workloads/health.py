@@ -1,0 +1,144 @@
+"""health (Olden) — Colombian health-care system simulation.
+
+A four-ary tree of villages is traversed recursively; each village walks
+its (scattered) patient list:
+
+    long sim(village):
+        if village == 0: return 0
+        t = 0
+        for i in 0..3: t += sim(village->child[i])
+        p = village->patients
+        while p: t += p->time; p = p->next
+        return t + village->base
+
+The patient-list loads are the delinquent loads.  The loop lives inside a
+recursive procedure, so the region traversal stops at the procedure
+boundary (the tool cannot inline recursion — the gap hand adaptation
+exploits in Section 4.5); chaining SP with a predicted spawn condition
+covers the list walk.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..isa.builder import FunctionBuilder
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .base import Workload, register
+
+VILLAGE_BYTES = 64
+PATIENT_BYTES = 64
+OFF_CHILD = 0            # 4 children: offsets 0, 8, 16, 24
+OFF_PATIENTS = 32
+OFF_BASE = 40
+OFF_P_NEXT = 0
+OFF_P_TIME = 8
+CHILDREN = 4
+
+
+@register
+class HealthWorkload(Workload):
+    name = "health"
+    description = "recursive village tree with scattered patient lists"
+    suite = "Olden"
+
+    PARAMS = {
+        "tiny": dict(levels=3, patients=6),
+        "small": dict(levels=4, patients=8),
+        "default": dict(levels=5, patients=10),
+    }
+
+    def __init__(self, scale: str = "default", seed: int = 20020617):
+        super().__init__(scale, seed)
+        p = self.PARAMS[scale]
+        self.levels = p["levels"]
+        self.patients = p["patients"]
+
+    def heap_bytes(self) -> int:
+        return 1 << 26
+
+    def _build_layout(self, heap: Heap, rng: random.Random) -> dict:
+        # Allocate villages level by level, then patients shuffled so the
+        # list walk is cache hostile.
+        villages = []
+        level_nodes = [heap.alloc(VILLAGE_BYTES, align=64)]
+        villages.extend(level_nodes)
+        for _ in range(self.levels - 1):
+            nxt = []
+            for parent in level_nodes:
+                kids = [heap.alloc(VILLAGE_BYTES, align=64)
+                        for _ in range(CHILDREN)]
+                for i, kid in enumerate(kids):
+                    heap.store(parent + OFF_CHILD + i * 8, kid)
+                nxt.extend(kids)
+            villages.extend(nxt)
+            level_nodes = nxt
+
+        patient_pool = [heap.alloc(PATIENT_BYTES, align=64)
+                        for _ in range(len(villages) * self.patients)]
+        rng.shuffle(patient_pool)
+        expected = 0
+        cursor = 0
+        for village in villages:
+            base = rng.randrange(1, 16)
+            heap.store(village + OFF_BASE, base)
+            expected += base
+            plist = patient_pool[cursor:cursor + self.patients]
+            cursor += self.patients
+            heap.store(village + OFF_PATIENTS, plist[0] if plist else 0)
+            for i, patient in enumerate(plist):
+                nxt = plist[i + 1] if i + 1 < len(plist) else 0
+                time = rng.randrange(1, 32)
+                heap.store(patient + OFF_P_NEXT, nxt)
+                heap.store(patient + OFF_P_TIME, time)
+                expected += time
+        out = heap.alloc(8)
+        return {"root": villages[0], "out": out, "expected": expected}
+
+    def expected_output(self, layout: dict) -> Optional[int]:
+        return layout["expected"]
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+
+        sim = FunctionBuilder(prog.add_function("sim", num_params=1))
+        (village,) = sim.params(1)
+        pz = sim.cmp("eq", village, imm=0)
+        sim.br_cond(pz, "leaf")
+        total = sim.mov_imm(0, dest="r110")
+        # The patient-list head is loop invariant; the compiler hoists it
+        # above the recursion (its line is needed for OFF_BASE anyway).
+        # The SSP trigger lands right after this producer, so the patient
+        # chain prefetches while the subtree recursion runs.
+        sim.load(village, OFF_PATIENTS, dest="r111")   # patient cursor
+        base = sim.load(village, OFF_BASE, dest="r112")
+        sim.nop()                                     # trigger slot
+        for i in range(CHILDREN):
+            child = sim.load(village, OFF_CHILD + i * 8)
+            sub = sim.call_fresh("sim", [child])
+            sim.add("r110", sub, dest="r110")
+        pempty = sim.cmp("eq", "r111", imm=0)
+        sim.br_cond(pempty, "done")
+        sim.label("patient_loop")
+        t = sim.load("r111", OFF_P_TIME)               # delinquent
+        sim.add("r110", t, dest="r110")
+        sim.load("r111", OFF_P_NEXT, dest="r111")       # delinquent chase
+        pp = sim.cmp("ne", "r111", imm=0)
+        sim.br_cond(pp, "patient_loop")
+        sim.label("done")
+        result = sim.add("r110", "r112")
+        sim.ret(result)
+        sim.label("leaf")
+        sim.ret(sim.mov_imm(0))
+
+        fb = FunctionBuilder(prog.add_function("main"))
+        root = fb.mov_imm(layout["root"])
+        total = fb.call_fresh("sim", [root])
+        # The recursion returns child totals only at leaves = 0; the
+        # interior villages' patients are all accumulated in `total`.
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, total)
+        fb.halt()
+        return prog

@@ -1,0 +1,106 @@
+"""mcf (SPEC CPU2000) — the ``primal_bea_map`` arc-scan kernel.
+
+The paper's running example (Figure 3): a strided scan over the arc array
+where each arc dereferences its tail node's potential:
+
+    do {
+        t = arc;
+        u   = load(t->tail);
+        ... = load(u->potential);
+        arc = t + nr_group;
+    } while (arc < K);
+
+Arcs are visited with a large stride (``nr_group``), so every iteration
+touches a new cache line; tail nodes are effectively random, so
+``u->potential`` misses far down the hierarchy.  Both loads are delinquent.
+The kernel makes several passes (mcf's pricing loop re-scans arcs), with a
+cost reduction accumulated per arc.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..isa.builder import FunctionBuilder
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .base import Workload, register
+
+ARC_STRIDE = 64        # bytes between visited arcs (nr_group * arc size)
+NODE_BYTES = 64
+OFF_TAIL = 0           # arc->tail
+OFF_COST = 8           # arc->cost
+OFF_POTENTIAL = 16     # node->potential
+
+
+@register
+class MCFWorkload(Workload):
+    name = "mcf"
+    description = "primal_bea_map arc scan (Figure 3 kernel)"
+    suite = "SPEC CPU2000"
+
+    PARAMS = {
+        "tiny": dict(narcs=300, nnodes=128, passes=1),
+        "small": dict(narcs=1500, nnodes=512, passes=1),
+        "default": dict(narcs=3500, nnodes=1200, passes=2),
+    }
+
+    def __init__(self, scale: str = "default", seed: int = 20020617):
+        super().__init__(scale, seed)
+        p = self.PARAMS[scale]
+        self.narcs = p["narcs"]
+        self.nnodes = p["nnodes"]
+        self.passes = p["passes"]
+
+    def _build_layout(self, heap: Heap, rng: random.Random) -> dict:
+        nodes = [heap.alloc(NODE_BYTES, align=64)
+                 for _ in range(self.nnodes)]
+        arcs = heap.alloc(self.narcs * ARC_STRIDE, align=64)
+        expected = 0
+        potentials = {}
+        for node in nodes:
+            potentials[node] = rng.randrange(1, 1000)
+            heap.store(node + OFF_POTENTIAL, potentials[node])
+        for i in range(self.narcs):
+            arc = arcs + i * ARC_STRIDE
+            tail = rng.choice(nodes)
+            cost = rng.randrange(1, 100)
+            heap.store(arc + OFF_TAIL, tail)
+            heap.store(arc + OFF_COST, cost)
+            expected += self.passes * (potentials[tail] + cost)
+        out = heap.alloc(8)
+        return {"arcs": arcs, "out": out, "expected": expected,
+                "end": arcs + self.narcs * ARC_STRIDE}
+
+    def expected_output(self, layout: dict) -> Optional[int]:
+        return layout["expected"]
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        total = fb.mov_imm(0, dest="r110")
+        npass = fb.mov_imm(self.passes, dest="r111")
+
+        fb.label("pass_loop")
+        fb.mov_imm(layout["arcs"], dest="r100")        # arc
+        fb.mov_imm(layout["end"], dest="r101")         # K
+        fb.nop()                                      # trigger slot
+        fb.label("arc_loop")
+        t = fb.mov("r100")                             # A: t = arc
+        u = fb.load(t, OFF_TAIL)                      # B: u = t->tail
+        pot = fb.load(u, OFF_POTENTIAL)               # C: u->potential
+        cost = fb.load(t, OFF_COST)
+        red = fb.add(pot, cost)
+        fb.add("r110", red, dest="r110")
+        fb.add("r100", imm=ARC_STRIDE, dest="r100")     # D: arc += nr_group
+        p = fb.cmp("lt", "r100", "r101")
+        fb.br_cond(p, "arc_loop")                     # E
+        fb.sub("r111", imm=1, dest="r111")
+        p2 = fb.cmp("gt", "r111", imm=0)
+        fb.br_cond(p2, "pass_loop")
+
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, "r110")
+        fb.halt()
+        return prog

@@ -1,0 +1,132 @@
+"""mst (Olden) — minimum-spanning-tree with hash-table adjacency.
+
+Olden's mst stores edge weights in per-vertex hash tables; the kernel's
+hot path walks a vertex list and performs a hash lookup per vertex pair:
+
+    for v in vertices:                # pointer-chased list
+        d = HashLookup(v->key, hash_table)
+        total += d
+
+``HashLookup`` walks a bucket chain of scattered entries — its loads are
+delinquent and live in a *callee*, so the slice of their addresses is
+interprocedural (Table 2 credits mst with an interprocedural slice).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..isa.builder import FunctionBuilder
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .base import Workload, register
+
+VERTEX_BYTES = 64
+ENTRY_BYTES = 64
+OFF_V_NEXT = 0
+OFF_V_KEY = 8
+OFF_E_NEXT = 0
+OFF_E_KEY = 8
+OFF_E_VALUE = 16
+
+
+@register
+class MSTWorkload(Workload):
+    name = "mst"
+    description = "vertex walk with hash-bucket lookups (interprocedural)"
+    suite = "Olden"
+
+    PARAMS = {
+        "tiny": dict(nvertices=120, nbuckets=32, chain=2),
+        "small": dict(nvertices=600, nbuckets=128, chain=2),
+        "default": dict(nvertices=1800, nbuckets=256, chain=3),
+    }
+
+    def __init__(self, scale: str = "default", seed: int = 20020617):
+        super().__init__(scale, seed)
+        p = self.PARAMS[scale]
+        self.nvertices = p["nvertices"]
+        self.nbuckets = p["nbuckets"]
+        self.chain = p["chain"]
+
+    def _build_layout(self, heap: Heap, rng: random.Random) -> dict:
+        buckets = heap.alloc(self.nbuckets * 8, align=64)
+        # Bucket chains: `chain` entries per bucket, scattered.
+        entries = {}
+        all_entries = []
+        for b in range(self.nbuckets):
+            chain_addrs = [heap.alloc(ENTRY_BYTES, align=64)
+                           for _ in range(self.chain)]
+            all_entries.append(chain_addrs)
+        # Shuffle physical placement effect by interleaved allocation above;
+        # now link and fill.
+        expected = 0
+        values = {}
+        for b, chain_addrs in enumerate(all_entries):
+            rng.shuffle(chain_addrs)
+            heap.store(buckets + b * 8, chain_addrs[0])
+            for depth, addr in enumerate(chain_addrs):
+                nxt = chain_addrs[depth + 1] if depth + 1 < len(
+                    chain_addrs) else 0
+                key = b + (depth * self.nbuckets)
+                value = rng.randrange(1, 500)
+                heap.store(addr + OFF_E_NEXT, nxt)
+                heap.store(addr + OFF_E_KEY, key)
+                heap.store(addr + OFF_E_VALUE, value)
+                values[key] = value
+        vertices = [heap.alloc(VERTEX_BYTES, align=64)
+                    for _ in range(self.nvertices)]
+        rng.shuffle(vertices)
+        for i, v in enumerate(vertices):
+            nxt = vertices[i + 1] if i + 1 < len(vertices) else 0
+            # Key hits a uniformly random chain position.
+            key = rng.randrange(0, self.nbuckets * self.chain)
+            heap.store(v + OFF_V_NEXT, nxt)
+            heap.store(v + OFF_V_KEY, key)
+            expected += values[key]
+        out = heap.alloc(8)
+        return {"head": vertices[0], "buckets": buckets, "out": out,
+                "expected": expected}
+
+    def expected_output(self, layout: dict) -> Optional[int]:
+        return layout["expected"]
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+
+        # int HashLookup(key, table)
+        hl = FunctionBuilder(prog.add_function("HashLookup", num_params=2))
+        key, table = hl.params(2)
+        idx = hl.and_(key, imm=self.nbuckets - 1)
+        slot = hl.shl(idx, 3)
+        baddr = hl.add(table, slot)
+        hl.load(baddr, 0, dest="r105")                 # bucket head
+        hl.label("walk")
+        ekey = hl.load("r105", OFF_E_KEY)              # delinquent
+        pm = hl.cmp("eq", ekey, key)
+        hl.br_cond(pm, "found")
+        hl.load("r105", OFF_E_NEXT, dest="r105")        # delinquent chase
+        pz = hl.cmp("ne", "r105", imm=0)
+        hl.br_cond(pz, "walk")
+        hl.ret(hl.mov_imm(0))                         # not found
+        hl.label("found")
+        val = hl.load("r105", OFF_E_VALUE)
+        hl.ret(val)
+
+        fb = FunctionBuilder(prog.add_function("main"))
+        fb.mov_imm(0, dest="r110")                     # total
+        fb.mov_imm(layout["head"], dest="r100")        # vertex cursor
+        fb.mov_imm(layout["buckets"], dest="r101")
+        fb.nop()                                      # trigger slot
+        fb.label("vertex_loop")
+        vkey = fb.load("r100", OFF_V_KEY, dest="r102")  # delinquent
+        d = fb.call_fresh("HashLookup", ["r102", "r101"])
+        fb.add("r110", d, dest="r110")
+        fb.load("r100", OFF_V_NEXT, dest="r100")        # delinquent chase
+        p = fb.cmp("ne", "r100", imm=0)
+        fb.br_cond(p, "vertex_loop")
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, "r110")
+        fb.halt()
+        return prog

@@ -1,0 +1,148 @@
+"""treeadd (Olden) — depth-first and breadth-first tree sums.
+
+The paper enhances Olden's treeadd to study both traversal orders
+(Section 4.1): ``treeadd.df`` performs the classic recursive depth-first
+sum; ``treeadd.bf`` walks the same tree breadth-first through an explicit
+queue.  Tree nodes are allocated in shuffled order, so every child
+dereference is a cache miss.
+
+treeadd.df is the one benchmark whose tool adaptation uses **basic SP**
+(Section 4.2): a trigger at ``treeadd`` entry spawns a thread that loads
+the child pointers and prefetches the child nodes the upcoming recursive
+calls will touch.  treeadd.bf's queue loop is a normal chaining candidate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..isa.builder import FunctionBuilder
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .base import Workload, register
+
+NODE_BYTES = 64
+OFF_VALUE = 0
+OFF_LEFT = 8
+OFF_RIGHT = 16
+
+
+class _TreeBase(Workload):
+    suite = "Olden"
+
+    PARAMS = {
+        "tiny": dict(levels=7),
+        "small": dict(levels=10),
+        "default": dict(levels=12),
+    }
+
+    def __init__(self, scale: str = "default", seed: int = 20020617):
+        super().__init__(scale, seed)
+        self.levels = self.PARAMS[scale]["levels"]
+
+    def heap_bytes(self) -> int:
+        return 1 << 26
+
+    def _build_layout(self, heap: Heap, rng: random.Random) -> dict:
+        count = (1 << self.levels) - 1
+        nodes = [heap.alloc(NODE_BYTES, align=64) for _ in range(count)]
+        rng.shuffle(nodes)
+        expected = 0
+        # Heap-indexed complete binary tree over shuffled addresses.
+        for i, node in enumerate(nodes):
+            value = rng.randrange(1, 64)
+            expected += value
+            heap.store(node + OFF_VALUE, value)
+            left = 2 * i + 1
+            right = 2 * i + 2
+            heap.store(node + OFF_LEFT,
+                       nodes[left] if left < count else 0)
+            heap.store(node + OFF_RIGHT,
+                       nodes[right] if right < count else 0)
+        out = heap.alloc(8)
+        # Queue storage for the breadth-first variant.
+        queue = heap.alloc((count + 2) * 8, align=64)
+        return {"root": nodes[0], "out": out, "expected": expected,
+                "queue": queue, "count": count}
+
+    def expected_output(self, layout: dict) -> Optional[int]:
+        return layout["expected"]
+
+
+@register
+class TreeAddDFWorkload(_TreeBase):
+    name = "treeadd.df"
+    description = "recursive depth-first sum over a shuffled binary tree"
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+
+        ta = FunctionBuilder(prog.add_function("treeadd", num_params=1))
+        (n,) = ta.params(1)
+        pz = ta.cmp("eq", n, imm=0)
+        ta.br_cond(pz, "leaf")
+        left = ta.load(n, OFF_LEFT, dest="r110")       # delinquent
+        right = ta.load(n, OFF_RIGHT, dest="r111")     # same line
+        value = ta.load(n, OFF_VALUE, dest="r112")
+        ta.nop()                                      # trigger slot
+        lsum = ta.call_fresh("treeadd", ["r110"])
+        ta.add("r112", lsum, dest="r112")
+        rsum = ta.call_fresh("treeadd", ["r111"])
+        total = ta.add("r112", rsum)
+        ta.ret(total)
+        ta.label("leaf")
+        ta.ret(ta.mov_imm(0))
+
+        fb = FunctionBuilder(prog.add_function("main"))
+        root = fb.mov_imm(layout["root"])
+        total = fb.call_fresh("treeadd", [root])
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, total)
+        fb.halt()
+        return prog
+
+
+@register
+class TreeAddBFWorkload(_TreeBase):
+    name = "treeadd.bf"
+    description = "breadth-first sum through an explicit queue"
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        queue = layout["queue"]
+
+        total = fb.mov_imm(0, dest="r110")
+        head = fb.mov_imm(0, dest="r111")
+        tail = fb.mov_imm(1, dest="r112")
+        qbase = fb.mov_imm(queue, dest="r113")
+        root = fb.mov_imm(layout["root"])
+        fb.store(qbase, root, 0)
+        fb.nop()                                      # trigger slot
+        fb.label("bfs_loop")
+        hoff = fb.shl("r111", 3)
+        haddr = fb.add("r113", hoff)
+        n = fb.load(haddr, 0, dest="r114")             # queue[head]
+        fb.add("r111", imm=1, dest="r111")
+        v = fb.load("r114", OFF_VALUE)                 # delinquent
+        fb.add("r110", v, dest="r110")
+        left = fb.load("r114", OFF_LEFT, dest="r115")
+        pl = fb.cmp("ne", "r115", imm=0)
+        toff = fb.shl("r112", 3)
+        taddr = fb.add("r113", toff)
+        fb.store(taddr, "r115", 0, pred=pl)
+        fb.add("r112", imm=1, dest="r112", pred=pl)
+        right = fb.load("r114", OFF_RIGHT, dest="r116")
+        pr = fb.cmp("ne", "r116", imm=0)
+        toff2 = fb.shl("r112", 3)
+        taddr2 = fb.add("r113", toff2)
+        fb.store(taddr2, "r116", 0, pred=pr)
+        fb.add("r112", imm=1, dest="r112", pred=pr)
+        pcont = fb.cmp("lt", "r111", "r112")
+        fb.br_cond(pcont, "bfs_loop")
+
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, "r110")
+        fb.halt()
+        return prog

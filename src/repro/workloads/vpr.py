@@ -1,0 +1,137 @@
+"""vpr (SPEC CPU2000) — FPGA placement bounding-box cost kernel.
+
+The placement inner loop of VPR evaluates net cost by walking each net's
+pin list and reading the (scattered) block structures the pins connect to:
+
+    for each net:
+        for each pin of net:
+            blk = net->pins[pin]
+            x, y = block[blk].x, block[blk].y
+            grow bounding box
+        cost += (xmax - xmin) + (ymax - ymin)
+
+Block structures are placed randomly in memory, so the ``block`` loads are
+delinquent; the pin count per net is small (the inner loop has a tiny trip
+count), so region selection must move outward to the net loop — exercising
+the region-graph traversal of Section 3.4.1.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..isa.builder import FunctionBuilder
+from ..isa.memory import Heap
+from ..isa.program import Program
+from .base import Workload, register
+
+NET_BYTES = 64
+BLOCK_BYTES = 64
+OFF_NET_PINS = 0       # net -> pin-array pointer
+OFF_NET_COST = 8       # net -> cached cost
+OFF_BLOCK_X = 0
+OFF_BLOCK_Y = 8
+PINS_PER_NET = 4
+
+
+@register
+class VPRWorkload(Workload):
+    name = "vpr"
+    description = "placement bounding-box cost over nets and blocks"
+    suite = "SPEC CPU2000"
+
+    PARAMS = {
+        "tiny": dict(nnets=80, nblocks=128, sweeps=1),
+        "small": dict(nnets=400, nblocks=600, sweeps=1),
+        "default": dict(nnets=1000, nblocks=1600, sweeps=2),
+    }
+
+    def __init__(self, scale: str = "default", seed: int = 20020617):
+        super().__init__(scale, seed)
+        p = self.PARAMS[scale]
+        self.nnets = p["nnets"]
+        self.nblocks = p["nblocks"]
+        self.sweeps = p["sweeps"]
+
+    def _build_layout(self, heap: Heap, rng: random.Random) -> dict:
+        blocks = [heap.alloc(BLOCK_BYTES, align=64)
+                  for _ in range(self.nblocks)]
+        coords = {}
+        for blk in blocks:
+            x, y = rng.randrange(0, 256), rng.randrange(0, 256)
+            coords[blk] = (x, y)
+            heap.store(blk + OFF_BLOCK_X, x)
+            heap.store(blk + OFF_BLOCK_Y, y)
+        nets = heap.alloc(self.nnets * NET_BYTES, align=64)
+        expected = 0
+        for i in range(self.nnets):
+            net = nets + i * NET_BYTES
+            pins = heap.alloc(PINS_PER_NET * 8, align=64)
+            heap.store(net + OFF_NET_PINS, pins)
+            xs, ys = [], []
+            for j in range(PINS_PER_NET):
+                blk = rng.choice(blocks)
+                heap.store(pins + j * 8, blk)
+                xs.append(coords[blk][0])
+                ys.append(coords[blk][1])
+            expected += self.sweeps * (
+                (max(xs) - min(xs)) + (max(ys) - min(ys)))
+        out = heap.alloc(8)
+        return {"nets": nets, "out": out, "expected": expected,
+                "end": nets + self.nnets * NET_BYTES}
+
+    def expected_output(self, layout: dict) -> Optional[int]:
+        return layout["expected"]
+
+    def _build_program(self, layout: dict) -> Program:
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        total = fb.mov_imm(0, dest="r110")
+        sweeps = fb.mov_imm(self.sweeps, dest="r111")
+
+        fb.label("sweep_loop")
+        fb.mov_imm(layout["nets"], dest="r100")        # net cursor
+        fb.mov_imm(layout["end"], dest="r101")
+        fb.nop()                                      # trigger slot
+        fb.label("net_loop")
+        pins = fb.load("r100", OFF_NET_PINS, dest="r102")
+        # Bounding box accumulators.
+        fb.mov_imm(1 << 30, dest="r103")   # xmin
+        fb.mov_imm(0, dest="r104")         # xmax
+        fb.mov_imm(1 << 30, dest="r105")   # ymin
+        fb.mov_imm(0, dest="r106")         # ymax
+        fb.mov_imm(0, dest="r107")         # pin index
+        fb.label("pin_loop")
+        off = fb.shl("r107", 3)
+        paddr = fb.add("r102", off)
+        blk = fb.load(paddr, 0)                        # pins[j]
+        x = fb.load(blk, OFF_BLOCK_X)                  # delinquent
+        y = fb.load(blk, OFF_BLOCK_Y)
+        pxl = fb.cmp("lt", x, "r103")
+        fb.mov(x, dest="r103", pred=pxl)
+        pxg = fb.cmp("gt", x, "r104")
+        fb.mov(x, dest="r104", pred=pxg)
+        pyl = fb.cmp("lt", y, "r105")
+        fb.mov(y, dest="r105", pred=pyl)
+        pyg = fb.cmp("gt", y, "r106")
+        fb.mov(y, dest="r106", pred=pyg)
+        fb.add("r107", imm=1, dest="r107")
+        pp = fb.cmp("lt", "r107", imm=PINS_PER_NET)
+        fb.br_cond(pp, "pin_loop")
+        dx = fb.sub("r104", "r103")
+        dy = fb.sub("r106", "r105")
+        cost = fb.add(dx, dy)
+        fb.add("r110", cost, dest="r110")
+        fb.store("r100", cost, OFF_NET_COST)            # cache the cost
+        fb.add("r100", imm=NET_BYTES, dest="r100")
+        pn = fb.cmp("lt", "r100", "r101")
+        fb.br_cond(pn, "net_loop")
+        fb.sub("r111", imm=1, dest="r111")
+        ps = fb.cmp("gt", "r111", imm=0)
+        fb.br_cond(ps, "sweep_loop")
+
+        o = fb.mov_imm(layout["out"])
+        fb.store(o, "r110")
+        fb.halt()
+        return prog

@@ -1,0 +1,319 @@
+"""Tests for reaching definitions, def-use chains, liveness, dependence
+graphs, SCC, call graphs and the region graph."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    CFG,
+    ANTI,
+    CONTROL,
+    FLOW,
+    OUTPUT,
+    CallGraph,
+    DependenceGraph,
+    FunctionDataflow,
+    RegionGraph,
+    block_liveness,
+    strongly_connected_components,
+)
+from repro.isa import FunctionBuilder, Program
+
+from helpers import mcf_like_workload
+
+
+def simple_loop():
+    prog = Program()
+    fb = FunctionBuilder(prog.add_function("f"))
+    fb.mov_imm(0, dest="r100")          # d1: r100
+    fb.mov_imm(10, dest="r101")
+    fb.label("loop")
+    fb.add("r100", imm=1, dest="r100")  # d2: r100 (carried)
+    p = fb.cmp("lt", "r100", "r101")
+    fb.br_cond(p, "loop")
+    fb.halt()
+    func = prog.function("f")
+    return prog, func, CFG(func)
+
+
+class TestDataflow:
+    def test_du_chain_straightline(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        a = fb.mov_imm(1)
+        b = fb.add(a, imm=2)
+        fb.halt()
+        func = prog.function("f")
+        df = FunctionDataflow(func, CFG(func))
+        instrs = list(func.instructions())
+        defs = df.defs_reaching_use(instrs[1].uid, a)
+        assert defs == {instrs[0].uid}
+
+    def test_both_defs_reach_around_loop(self):
+        prog, func, cfg = simple_loop()
+        df = FunctionDataflow(func, cfg)
+        instrs = list(func.instructions())
+        add = next(i for i in instrs if i.op == "add")
+        reaching = df.defs_reaching_use(add.uid, "r100")
+        # Both the init mov and the add itself (around the back edge).
+        assert len(reaching) == 2
+        assert add.uid in reaching
+
+    def test_redefinition_kills(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        fb.mov_imm(1, dest="r100")
+        fb.mov_imm(2, dest="r100")
+        use = fb.add("r100", imm=0)
+        fb.halt()
+        func = prog.function("f")
+        df = FunctionDataflow(func, CFG(func))
+        instrs = list(func.instructions())
+        reaching = df.defs_reaching_use(instrs[2].uid, "r100")
+        assert reaching == {instrs[1].uid}
+
+    def test_call_defines_return_register(self):
+        prog = Program()
+        g = FunctionBuilder(prog.add_function("g"))
+        g.ret(g.mov_imm(5))
+        fb = FunctionBuilder(prog.add_function("f"))
+        r = fb.call_fresh("g")
+        fb.halt()
+        func = prog.function("f")
+        df = FunctionDataflow(func, CFG(func))
+        instrs = list(func.instructions())
+        call = next(i for i in instrs if i.op == "br.call")
+        mov = next(i for i in instrs if i.op == "mov" and i.srcs == ("r8",))
+        assert call.uid in df.defs_reaching_use(mov.uid, "r8")
+
+
+class TestLiveness:
+    def test_loop_liveness(self):
+        prog, func, cfg = simple_loop()
+        live_in, live_out = block_liveness(func, cfg)
+        assert "r100" in live_in["loop"]
+        assert "r101" in live_in["loop"]
+        assert "r100" in live_out["loop"]  # live around the back edge
+
+    def test_dead_after_last_use(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        a = fb.mov_imm(1)
+        fb.label("second")
+        fb.mov_imm(2)
+        fb.halt()
+        func = prog.function("f")
+        live_in, _ = block_liveness(func, CFG(func))
+        assert a not in live_in["second"]
+
+
+class TestDependenceGraph:
+    def make(self):
+        prog, heap, _ = mcf_like_workload(narcs=30, nnodes=10)
+        func = prog.function("main")
+        return DependenceGraph(func, CFG(func)), func
+
+    def test_flow_edge_kinds(self):
+        dg, func = self.make()
+        loop = func.block("loop")
+        loads = [i for i in loop.instrs if i.op == "ld"]
+        # ld u->potential depends on ld t->tail via flow.
+        preds = list(dg.preds(loads[1].uid, kinds={FLOW}))
+        assert any(e.src == loads[0].uid for e in preds)
+
+    def test_loop_carried_flow_detected(self):
+        dg, func = self.make()
+        loop = func.block("loop")
+        add = next(i for i in loop.instrs
+                   if i.op == "add" and i.dest == "r50")
+        carried = [e for e in dg.succs(add.uid, kinds={FLOW})
+                   if e.loop_carried]
+        assert carried, "induction update must carry to the next iteration"
+
+    def test_control_edges_present(self):
+        dg, func = self.make()
+        loop = func.block("loop")
+        branch = loop.instrs[-1]
+        controlled = [e.dst for e in dg.succs(branch.uid,
+                                              kinds={CONTROL})]
+        assert len(controlled) >= 3
+
+    def test_false_dependences_intra_iteration_only(self):
+        dg, func = self.make()
+        for uid, edges in dg.out_edges.items():
+            for e in edges:
+                if e.kind in (ANTI, OUTPUT):
+                    assert not e.loop_carried
+
+    def test_load_latency_profiled(self):
+        prog, heap, _ = mcf_like_workload(narcs=30, nnodes=10)
+        func = prog.function("main")
+        loads = [i for i in func.instructions() if i.op == "ld"]
+        latency_map = {loads[0].uid: 200.0}
+        dg = DependenceGraph(func, CFG(func), latency_map)
+        assert dg.latency(loads[0].uid) == 200
+        assert dg.latency(loads[1].uid) == 2  # default L1
+
+    def test_height_grows_along_chains(self):
+        dg, func = self.make()
+        loop = func.block("loop")
+        uids = {i.uid for i in loop.instrs}
+        loads = [i for i in loop.instrs if i.op == "ld"]
+        mov = next(i for i in loop.instrs if i.op == "mov")
+        assert dg.height(mov.uid, within=uids) > \
+            dg.height(loads[1].uid, within=uids)
+
+    def test_available_ilp_low_on_chase(self):
+        dg, func = self.make()
+        loop = func.block("loop")
+        uids = {i.uid for i in loop.instrs}
+        # Pointer-chasing slices exhibit little ILP (Section 3.2.1.2.2).
+        assert dg.available_ilp(uids) < 3.0
+
+
+class TestSCC:
+    def test_simple_cycle(self):
+        graph = {1: [2], 2: [3], 3: [1], 4: [1]}
+        sccs = strongly_connected_components([1, 2, 3, 4],
+                                             lambda n: graph.get(n, []))
+        sizes = sorted(len(c) for c in sccs)
+        assert sizes == [1, 3]
+
+    def test_reverse_topological_order(self):
+        graph = {1: [2], 2: [], 3: [1]}
+        sccs = strongly_connected_components([3, 1, 2],
+                                             lambda n: graph.get(n, []))
+        order = [c[0] for c in sccs]
+        assert order.index(2) < order.index(1) < order.index(3)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)),
+                    max_size=40))
+    def test_matches_networkx(self, edges):
+        nodes = sorted({n for e in edges for n in e} | {0})
+        graph = {}
+        for src, dst in edges:
+            graph.setdefault(src, []).append(dst)
+        ours = strongly_connected_components(nodes,
+                                             lambda n: graph.get(n, []))
+        g = nx.DiGraph()
+        g.add_nodes_from(nodes)
+        g.add_edges_from(edges)
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(g)}
+        assert {frozenset(c) for c in ours} == theirs
+
+
+class TestCallGraph:
+    def make_program(self):
+        prog = Program()
+        c = FunctionBuilder(prog.add_function("leaf"))
+        c.ret(c.mov_imm(1))
+        b = FunctionBuilder(prog.add_function("mid"))
+        b.ret(b.call_fresh("leaf"))
+        r = FunctionBuilder(prog.add_function("rec", num_params=1))
+        (n,) = r.params(1)
+        p = r.cmp("le", n, imm=0)
+        r.br_cond(p, "base")
+        nm1 = r.sub(n, imm=1)
+        r.ret(r.call_fresh("rec", [nm1]))
+        r.label("base")
+        r.ret(r.mov_imm(0))
+        m = FunctionBuilder(prog.add_function("main"))
+        m.call("mid")
+        m.call("rec", [m.mov_imm(3)])
+        m.halt()
+        prog.entry = "main"
+        return prog
+
+    def test_edges(self):
+        cg = CallGraph(self.make_program())
+        assert cg.callees("main") == {"mid", "rec"}
+        assert cg.callees("mid") == {"leaf"}
+        assert cg.callers("leaf") == {"mid"}
+
+    def test_recursion_detected(self):
+        cg = CallGraph(self.make_program())
+        assert cg.is_recursive("rec")
+        assert not cg.is_recursive("mid")
+        assert not cg.is_recursive("leaf")
+
+    def test_reachability(self):
+        cg = CallGraph(self.make_program())
+        assert cg.reachable_from("main") == {"main", "mid", "leaf", "rec"}
+        assert cg.reachable_from("mid") == {"mid", "leaf"}
+
+    def test_call_paths(self):
+        cg = CallGraph(self.make_program())
+        paths = cg.call_paths_to("leaf")
+        assert len(paths) == 1
+        assert [caller for caller, _ in paths[0]] == ["main", "mid"]
+
+    def test_indirect_profile_resolution(self):
+        prog = Program()
+        f = FunctionBuilder(prog.add_function("target"))
+        f.ret(f.mov_imm(1))
+        m = FunctionBuilder(prog.add_function("main"))
+        idr = m.mov_imm(0)
+        m.call_indirect(idr)
+        m.halt()
+        prog.entry = "main"
+        site = next(i for i in prog.function("main").instructions()
+                    if i.op == "br.call.ind")
+        cg = CallGraph(prog, {site.uid: {"target": 7}})
+        assert cg.callees("main") == {"target"}
+        assert cg.call_sites_of("main", "target")[0].count == 7
+
+
+class TestRegionGraph:
+    def test_regions_and_trip_counts(self):
+        prog, heap, _ = mcf_like_workload(narcs=40, nnodes=10)
+        cg = CallGraph(prog)
+        freq = {"main": {"entry": 1, "loop": 40, ".fall1": 1}}
+        rg = RegionGraph(prog, cg, freq)
+        region = rg.region_of_block("main", "loop")
+        assert region.kind == "loop"
+        assert region.trip_count == pytest.approx(40.0)
+        assert region.parent.kind == "procedure"
+
+    def test_outward_chain_through_call(self):
+        prog = Program(entry="main")
+        callee = FunctionBuilder(prog.add_function("callee", num_params=1))
+        (x,) = callee.params(1)
+        callee.ret(callee.load(x, 0))
+        m = FunctionBuilder(prog.add_function("main"))
+        m.mov_imm(0x2000, dest="r100")
+        m.label("loop")
+        m.call_fresh("callee", ["r100"])
+        m.add("r100", imm=8, dest="r100")
+        p = m.cmp("lt", "r100", imm=0x3000)
+        m.br_cond(p, "loop")
+        m.halt()
+        prog.finalize()
+        cg = CallGraph(prog)
+        rg = RegionGraph(prog, cg)
+        proc = rg.proc_region["callee"]
+        chain = list(rg.outward_chain(proc))
+        names = [r.name for r in chain]
+        assert names[0] == "proc:callee"
+        # Continues into the unique caller's loop and procedure.
+        assert "loop:main:loop" in names
+        assert "proc:main" in names
+
+    def test_outward_chain_stops_at_recursion(self):
+        prog = Program(entry="main")
+        r = FunctionBuilder(prog.add_function("rec", num_params=1))
+        (n,) = r.params(1)
+        p = r.cmp("le", n, imm=0)
+        r.br_cond(p, "base")
+        r.call_fresh("rec", [r.sub(n, imm=1)])
+        r.ret(n)
+        r.label("base")
+        r.ret(n)
+        m = FunctionBuilder(prog.add_function("main"))
+        m.call("rec", [m.mov_imm(3)])
+        m.halt()
+        prog.finalize()
+        rg = RegionGraph(prog, CallGraph(prog))
+        chain = list(rg.outward_chain(rg.proc_region["rec"]))
+        assert [c.name for c in chain] == ["proc:rec"]

@@ -1,0 +1,44 @@
+"""Tests for the ssp-postpass command-line interface."""
+
+import pytest
+
+from repro.tool.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "em3d" in out
+
+    def test_adapt_workload(self, capsys):
+        assert main(["mcf", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "delinquent loads" in out
+        assert "speedup" in out
+
+    def test_adapt_with_disassembly(self, capsys):
+        assert main(["mcf", "--scale", "tiny", "--disassemble"]) == 0
+        out = capsys.readouterr().out
+        assert ".ssp_slice1" in out
+        assert "chk.c" in out
+
+    def test_experiments_mode(self, capsys):
+        assert main(["--experiments", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Modeled Research Itanium" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["--experiments", "figure99"]) == 2
+
+    def test_no_args_prints_usage(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["nonexistent-bench"])
+
+    def test_ooo_model(self, capsys):
+        assert main(["mcf", "--scale", "tiny", "--model", "ooo"]) == 0
+        out = capsys.readouterr().out
+        assert "ooo baseline" in out

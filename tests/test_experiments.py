@@ -1,0 +1,151 @@
+"""Integration tests for the experiment harness (paper shapes at tiny
+scale; the benchmark harness re-checks them while timing)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentContext,
+    figure2,
+    figure8,
+    figure9,
+    figure10,
+    hand_vs_auto,
+    table1,
+    table2,
+)
+from repro.workloads import PAPER_ORDER
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext("tiny")
+
+
+class TestContext:
+    def test_runs_are_memoised(self, context):
+        assert context.run("mcf") is context.run("mcf")
+
+    def test_stats_are_memoised(self, context):
+        run = context.run("mcf")
+        assert run.stats("inorder", "base") is \
+            run.stats("inorder", "base")
+
+    def test_unknown_variant_rejected(self, context):
+        with pytest.raises(ValueError):
+            context.run("mcf").stats("inorder", "warp-speed")
+
+    def test_speedup_helper(self, context):
+        run = context.run("mcf")
+        assert run.speedup("inorder", "ssp") == pytest.approx(
+            run.cycles("inorder", "base") / run.cycles("inorder", "ssp"))
+
+
+class TestResultFormatting:
+    def test_format_contains_all_cells(self, context):
+        result = table1.run()
+        text = result.format()
+        assert "Table 1" in text
+        assert "230-cycle latency" in text
+
+    def test_row_map(self):
+        result = table1.run()
+        assert "Memory" in result.row_map()
+
+
+class TestTable1:
+    def test_matches_paper_parameters(self):
+        rows = dict(table1.run().rows)
+        assert "4 hardware" in rows["Threading"]
+        assert "12-stage" in rows["Pipelining"]
+        assert "16KB" in rows["L1"] and "2-cycle" in rows["L1"]
+        assert "256KB" in rows["L2"] and "14-cycle" in rows["L2"]
+        assert "3072KB" in rows["L3"] and "30-cycle" in rows["L3"]
+        assert "255-entry" in rows["OOO structures"]
+
+
+class TestFigure2:
+    def test_shape(self, context):
+        result = figure2.run(context=context, scale="tiny",
+                             benchmarks=["mcf", "em3d"])
+        rows = result.row_map()
+        for name in ("mcf", "em3d"):
+            io_pm, io_pd = rows[name][1], rows[name][2]
+            assert io_pm > 3.0
+            assert 0 < io_pd <= io_pm * 1.05
+
+
+class TestTable2:
+    def test_all_benchmarks_have_rows(self, context):
+        result = table2.run(context=context, scale="tiny")
+        assert set(result.row_map()) == set(PAPER_ORDER)
+
+    def test_treeadd_df_uses_basic_sp(self, context):
+        rows = table2.run(context=context, scale="tiny").row_map()
+        assert "basic" in rows["treeadd.df"][5]
+
+    def test_interprocedural_slices(self, context):
+        rows = table2.run(context=context, scale="tiny").row_map()
+        assert rows["mst"][2] >= 1
+        assert rows["health"][2] >= 1
+
+
+class TestFigure8:
+    def test_headline_shape(self, context):
+        result = figure8.run(context=context, scale="tiny",
+                             benchmarks=["mcf", "em3d", "treeadd.bf"])
+        rows = result.row_map()
+        for name in ("mcf", "em3d", "treeadd.bf"):
+            assert rows[name][1] > 1.2, f"{name}: SSP must speed up IO"
+        avg = rows["average"]
+        assert avg[1] > 1.5
+
+
+class TestFigure9:
+    def test_ssp_reduces_full_memory_hits(self, context):
+        result = figure9.run(context=context, scale="tiny",
+                             benchmarks=["mcf"])
+        by_key = {(r[0], r[1]): r for r in result.rows}
+        assert by_key[("mcf", "io+SSP")][6] < by_key[("mcf", "io")][6]
+
+    def test_categories_sum_to_miss_rate(self, context):
+        result = figure9.run(context=context, scale="tiny",
+                             benchmarks=["mcf"])
+        for row in result.rows:
+            assert sum(row[2:8]) == pytest.approx(row[8], abs=0.5)
+
+
+class TestFigure10:
+    def test_baseline_normalised_to_100(self, context):
+        result = figure10.run(context=context, scale="tiny",
+                              benchmarks=["em3d"])
+        by_key = {(r[0], r[1]): r for r in result.rows}
+        assert by_key[("em3d", "io")][-1] == pytest.approx(100.0)
+
+    def test_ssp_removes_l3_stalls(self, context):
+        result = figure10.run(context=context, scale="tiny",
+                              benchmarks=["em3d"])
+        by_key = {(r[0], r[1]): r for r in result.rows}
+        assert by_key[("em3d", "io+SSP")][2] < by_key[("em3d", "io")][2]
+
+    def test_breakdown_sums_to_total(self, context):
+        result = figure10.run(context=context, scale="tiny",
+                              benchmarks=["em3d"])
+        for row in result.rows:
+            if row[1].startswith("io"):
+                assert sum(row[2:8]) == pytest.approx(row[8], abs=0.5)
+
+
+class TestHandVsAuto:
+    def test_all_four_rows(self, context):
+        result = hand_vs_auto.run(context=context, scale="tiny")
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row[2] > 0.9 and row[3] > 0.9
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "figure2", "table2", "figure8", "figure9",
+            "figure10", "hand_vs_auto"}

@@ -1,0 +1,126 @@
+"""Tests for the IR builder, register conventions, and machine config."""
+
+import pytest
+
+from repro.isa import FunctionBuilder, Program
+from repro.isa import registers as regs
+from repro.sim.config import CacheConfig, inorder_config, ooo_config
+
+
+class TestRegisterConventions:
+    def test_arg_registers(self):
+        assert regs.arg_register(0) == "r32"
+        assert regs.arg_register(7) == "r39"
+        with pytest.raises(ValueError):
+            regs.arg_register(8)
+        with pytest.raises(ValueError):
+            regs.arg_register(-1)
+
+    def test_temp_registers(self):
+        assert regs.temp_register(0) == "r40"
+        with pytest.raises(ValueError):
+            regs.temp_register(200)
+
+    def test_pred_registers(self):
+        assert regs.pred_register(0) == "p1"  # p0 is hardwired true
+        with pytest.raises(ValueError):
+            regs.pred_register(100)
+
+    def test_classification(self):
+        assert regs.is_int_register("r0")
+        assert regs.is_int_register("r127")
+        assert not regs.is_int_register("p1")
+        assert not regs.is_int_register("rax")
+        assert regs.is_pred_register("p63")
+        assert not regs.is_pred_register("r1")
+
+
+class TestBuilder:
+    def test_fresh_registers_unique(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        names = {fb.fresh() for _ in range(20)}
+        assert len(names) == 20
+
+    def test_fresh_exhaustion(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        with pytest.raises(ValueError):
+            for _ in range(200):
+                fb.fresh()
+
+    def test_branch_splits_block(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        p = fb.cmp("eq", "r0", imm=0)
+        fb.br_cond(p, "entry")
+        fb.mov_imm(1)          # lands in an auto .fall block
+        fb.halt()
+        func = prog.function("f")
+        labels = [b.label for b in func.blocks]
+        assert len(labels) >= 2
+        assert any(l.startswith(".fall") for l in labels)
+
+    def test_explicit_label_replaces_empty_fall_block(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        fb.br("next")
+        fb.label("next")       # the auto .fall block is dropped
+        fb.halt()
+        labels = [b.label for b in prog.function("f").blocks]
+        assert "next" in labels
+        assert sum(1 for l in labels if l.startswith(".fall")) <= 1
+
+    def test_params_copy_incoming_args(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f", num_params=2))
+        a, b = fb.params(2)
+        assert a != regs.arg_register(0)
+        instrs = list(prog.function("f").instructions())
+        assert instrs[0].op == "mov" and instrs[0].srcs == ("r32",)
+
+    def test_call_fresh_returns_value_register(self):
+        prog = Program()
+        g = FunctionBuilder(prog.add_function("g"))
+        g.ret(g.mov_imm(9))
+        fb = FunctionBuilder(prog.add_function("f"))
+        r = fb.call_fresh("g")
+        fb.halt()
+        instrs = list(prog.function("f").instructions())
+        movs = [i for i in instrs if i.op == "mov" and i.srcs == ("r8",)]
+        assert movs and movs[0].dest == r
+
+    def test_fresh_label_monotone(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        assert fb.fresh_label("x") != fb.fresh_label("x")
+
+
+class TestMachineConfig:
+    def test_cache_geometry(self):
+        cfg = CacheConfig(16 * 1024, 4, 2)
+        assert cfg.num_sets == 64
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 2).num_sets
+
+    def test_presets_differ(self):
+        io, ooo = inorder_config(), ooo_config()
+        assert not io.out_of_order and ooo.out_of_order
+        assert ooo.pipeline_stages == io.pipeline_stages + 4
+        assert io.issue_width == 6
+        assert io.mispredict_penalty == io.pipeline_stages
+
+    def test_perfect_variants_are_new_objects(self):
+        base = inorder_config()
+        pm = base.with_perfect_memory()
+        pl = base.with_perfect_loads({1, 2})
+        assert not base.perfect_memory
+        assert pm.perfect_memory
+        assert pl.perfect_load_uids == frozenset({1, 2})
+        assert "perfect" in pm.name and "perfect" in pl.name
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            inorder_config().memory_latency = 5

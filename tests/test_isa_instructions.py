@@ -1,0 +1,113 @@
+"""Unit tests for the instruction layer."""
+
+import pytest
+
+from repro.isa import Instruction, alu, cmp, load, mov, nop, prefetch, store
+from repro.isa.instructions import (
+    ALU_OPS,
+    BRANCH_OPS,
+    FIXED_LATENCY,
+    OP_BR,
+    OP_BR_COND,
+    OP_CALL,
+    OP_CHK_C,
+    OP_HALT,
+    OP_KILL,
+    OP_RET,
+    OP_RFI,
+)
+
+
+class TestConstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(op="frobnicate")
+
+    def test_cmp_requires_relation(self):
+        with pytest.raises(ValueError):
+            Instruction(op="cmp", dest="p1", srcs=("r1", "r2"))
+
+    def test_alu_helper_rejects_non_alu(self):
+        with pytest.raises(ValueError):
+            alu("mov", "r1", "r2")
+
+    def test_alu_helper_needs_second_operand(self):
+        with pytest.raises(ValueError):
+            alu("add", "r1", "r2", b=None, imm=None)
+
+    def test_mov_needs_exactly_one_operand(self):
+        with pytest.raises(ValueError):
+            mov("r1")
+        with pytest.raises(ValueError):
+            mov("r1", src="r2", imm=3)
+
+    def test_cmp_helper_needs_second_operand(self):
+        with pytest.raises(ValueError):
+            cmp("lt", "p1", "r1")
+
+    def test_uids_are_unique(self):
+        uids = {nop().uid for _ in range(100)}
+        assert len(uids) == 100
+
+    def test_copy_gets_fresh_uid_and_same_operands(self):
+        original = load("r1", "r2", 16)
+        dup = original.copy()
+        assert dup.uid != original.uid
+        assert (dup.op, dup.dest, dup.srcs, dup.imm) == \
+            (original.op, original.dest, original.srcs, original.imm)
+
+
+class TestClassification:
+    def test_branch_ops_flagged(self):
+        for op in (OP_BR, OP_BR_COND, OP_CALL, OP_RET):
+            instr = Instruction(op=op, target="x" if op != OP_RET else None)
+            assert instr.is_branch
+
+    def test_memory_classification(self):
+        assert load("r1", "r2").is_load
+        assert load("r1", "r2").is_memory
+        assert store("r1", "r2").is_store
+        assert prefetch("r1").is_memory
+        assert not prefetch("r1").is_load
+
+    def test_terminators(self):
+        assert Instruction(op=OP_BR, target="x").is_terminator
+        assert Instruction(op=OP_HALT).is_terminator
+        assert Instruction(op=OP_KILL).is_terminator
+        assert Instruction(op=OP_RFI).is_terminator
+        assert not Instruction(op=OP_BR_COND, target="x").is_terminator
+        assert not load("r1", "r2").is_terminator
+
+    def test_reads_include_qualifying_predicate(self):
+        instr = load("r1", "r2", pred="p3")
+        assert "p3" in instr.reads
+        assert "r2" in instr.reads
+
+    def test_writes(self):
+        assert load("r1", "r2").writes == ("r1",)
+        assert store("r1", "r2").writes == ()
+
+
+class TestLatencies:
+    def test_every_non_load_op_has_a_latency(self):
+        for op in ALU_OPS | BRANCH_OPS:
+            assert op in FIXED_LATENCY
+
+    def test_mul_slower_than_add(self):
+        assert FIXED_LATENCY["mul"] > FIXED_LATENCY["add"]
+
+    def test_fixed_latency_accessor(self):
+        assert alu("mul", "r1", "r2", "r3").fixed_latency() == 3
+        assert nop().fixed_latency() == 1
+
+
+class TestText:
+    def test_str_contains_operands(self):
+        text = str(load("r1", "r2", 16))
+        assert "ld" in text and "r1" in text and "r2" in text
+
+    def test_str_shows_predicate(self):
+        assert str(mov("r1", imm=5, pred="p2")).startswith("(p2)")
+
+    def test_str_shows_relation(self):
+        assert "cmp.lt" in str(cmp("lt", "p1", "r1", "r2"))

@@ -1,0 +1,179 @@
+"""Unit tests for Program / Function / BasicBlock and finalisation."""
+
+import pytest
+
+from repro.isa import FunctionBuilder, Program, ProgramError
+from repro.isa.instructions import Instruction, nop
+
+
+def two_block_program() -> Program:
+    prog = Program(entry="main")
+    fb = FunctionBuilder(prog.add_function("main"))
+    fb.mov_imm(1, dest="r40")
+    fb.br("second")
+    fb.label("second")
+    fb.halt()
+    return prog
+
+
+class TestStructure:
+    def test_duplicate_function_rejected(self):
+        prog = Program()
+        prog.add_function("f")
+        with pytest.raises(ProgramError):
+            prog.add_function("f")
+
+    def test_duplicate_label_rejected(self):
+        prog = Program()
+        func = prog.add_function("f")
+        func.add_block("a")
+        with pytest.raises(ProgramError):
+            func.add_block("a")
+
+    def test_unknown_function_lookup(self):
+        with pytest.raises(ProgramError):
+            Program().function("ghost")
+
+    def test_unknown_block_lookup(self):
+        prog = Program()
+        func = prog.add_function("f")
+        with pytest.raises(ProgramError):
+            func.block("ghost")
+
+    def test_entry_block_is_first(self):
+        prog = two_block_program()
+        assert prog.function("main").entry.label == "entry"
+
+    def test_find_instruction_by_uid(self):
+        prog = two_block_program()
+        instr = next(iter(prog.instructions()))
+        func, block, idx = prog.find_instruction(instr.uid)
+        assert func.name == "main"
+        assert block.instrs[idx] is instr
+
+    def test_find_unknown_uid(self):
+        with pytest.raises(ProgramError):
+            two_block_program().find_instruction(10**9)
+
+
+class TestSuccessors:
+    def test_fallthrough(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        fb.mov_imm(1)
+        fb.label("next")
+        fb.halt()
+        func = prog.function("f")
+        assert func.successors(func.block("entry")) == ["next"]
+
+    def test_unconditional_branch_no_fallthrough(self):
+        prog = two_block_program()
+        func = prog.function("main")
+        assert func.successors(func.block("entry")) == ["second"]
+
+    def test_conditional_branch_has_two_successors(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        p = fb.cmp("eq", "r40", imm=0)
+        fb.br_cond(p, "taken")
+        fb.label("fall")
+        fb.halt()
+        fb.label("taken")
+        fb.halt()
+        func = prog.function("f")
+        assert func.successors(func.block("entry")) == ["taken", "fall"]
+
+    def test_halt_ends_flow(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        fb.halt()
+        fb.label("unreachable")
+        fb.halt()
+        func = prog.function("f")
+        assert func.successors(func.block("entry")) == []
+
+
+class TestFinalize:
+    def test_addresses_are_sequential(self):
+        prog = two_block_program().finalize()
+        assert [i.addr for i in prog.code] == list(range(len(prog.code)))
+
+    def test_branch_targets_resolved(self):
+        prog = two_block_program().finalize()
+        br_idx = next(i for i, ins in enumerate(prog.code)
+                      if ins.op == "br")
+        assert prog.branch_target[br_idx] == \
+            prog.label_index("main", "second")
+
+    def test_unresolved_label_raises(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        fb.br("nowhere")
+        with pytest.raises(ProgramError):
+            prog.finalize()
+
+    def test_call_to_unknown_function_raises(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        fb.call("ghost")
+        fb.halt()
+        with pytest.raises(ProgramError):
+            prog.finalize()
+
+    def test_function_ids_assigned(self):
+        prog = Program()
+        FunctionBuilder(prog.add_function("a")).halt()
+        FunctionBuilder(prog.add_function("b")).halt()
+        prog.finalize()
+        assert prog.function_by_id[prog.function_id["a"]] == "a"
+        assert prog.function_by_id[prog.function_id["b"]] == "b"
+
+    def test_qualified_labels_resolve_across_functions(self):
+        prog = Program()
+        fa = FunctionBuilder(prog.add_function("a"))
+        fa.halt()
+        fa.label("inside_a")
+        fa.halt()
+        fb = FunctionBuilder(prog.add_function("b"))
+        fb.br("a::inside_a")
+        prog.finalize()
+        br_idx = prog.function_entry["b"]
+        assert prog.branch_target[br_idx] == prog.label_index("a", "inside_a")
+
+    def test_finalize_idempotent(self):
+        prog = two_block_program()
+        first = prog.finalize().code[:]
+        second = prog.finalize().code[:]
+        assert first == second
+
+
+class TestClone:
+    def test_clone_preserves_uids(self):
+        prog = two_block_program()
+        clone = prog.clone()
+        assert [i.uid for i in prog.instructions()] == \
+            [i.uid for i in clone.instructions()]
+
+    def test_clone_is_independent(self):
+        prog = two_block_program()
+        clone = prog.clone()
+        clone.function("main").block("entry").append(nop())
+        n_orig = sum(1 for _ in prog.instructions())
+        n_clone = sum(1 for _ in clone.instructions())
+        assert n_clone == n_orig + 1
+
+    def test_clone_runs_identically(self):
+        from repro.isa import FunctionalInterpreter, Heap
+        prog = two_block_program()
+        clone = prog.clone().finalize()
+        interp = FunctionalInterpreter(clone, Heap(1 << 13))
+        state = interp.run()
+        assert state.halted
+
+
+class TestDisassemble:
+    def test_listing_mentions_everything(self):
+        text = two_block_program().finalize().disassemble()
+        assert ".func main" in text
+        assert "second:" in text
+        assert "halt" in text

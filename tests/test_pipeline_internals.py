@@ -1,0 +1,230 @@
+"""Deeper timing-model tests: accounting invariants, predication in the
+pipelines, lfetch timing semantics, live-in buffer isolation under timing,
+and SMT fairness."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import FunctionBuilder, Heap, Program
+from repro.isa.instructions import Instruction
+from repro.sim import inorder_config, ooo_config, simulate
+
+from helpers import linked_list_heap, list_sum_program, mcf_like_workload
+
+
+def run_both(prog_factory):
+    out = {}
+    for model in ("inorder", "ooo"):
+        prog, heap = prog_factory()
+        out[model] = simulate(prog, heap, model)
+    return out
+
+
+class TestAccountingInvariants:
+    @pytest.mark.parametrize("ssp", [False, True])
+    def test_inorder_breakdown_sums_exactly(self, ssp):
+        prog, heap, _ = mcf_like_workload(ssp=ssp, narcs=200, nnodes=50)
+        stats = simulate(prog, heap, "inorder")
+        assert sum(stats.cycle_breakdown.values()) == stats.cycles
+
+    def test_instructions_counted_once(self):
+        from repro.isa import FunctionalInterpreter
+        heap, addrs, out = linked_list_heap(100)
+        prog = list_sum_program(addrs[0], out)
+        interp = FunctionalInterpreter(prog, heap)
+        interp.run()
+        heap2, addrs2, out2 = linked_list_heap(100)
+        stats = simulate(list_sum_program(addrs2[0], out2), heap2,
+                         "inorder")
+        # Timing model retires exactly the architecturally executed count.
+        assert stats.main_instructions == interp.steps
+
+    def test_spec_instructions_separate(self):
+        prog, heap, _ = mcf_like_workload(ssp=True, narcs=200, nnodes=50)
+        stats = simulate(prog, heap, "inorder")
+        assert stats.spec_instructions > 0
+        base_prog, base_heap, _ = mcf_like_workload(ssp=False, narcs=200,
+                                                    nnodes=50)
+        base = simulate(base_prog, base_heap, "inorder")
+        # chk.c is the only extra main-thread instruction, plus the stub.
+        assert stats.main_instructions <= base.main_instructions + 8
+
+    def test_ipc_bounded_by_width(self):
+        heap, addrs, out = linked_list_heap(50)
+        prog = list_sum_program(addrs[0], out)
+        stats = simulate(prog, heap, "inorder",
+                         config=inorder_config().with_perfect_memory())
+        assert stats.ipc <= inorder_config().issue_width
+
+
+class TestPredicationTiming:
+    def build(self, taken: bool):
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        heap = Heap(1 << 16)
+        cell = heap.alloc(8)
+        p = fb.cmp("eq", fb.mov_imm(1), imm=1 if taken else 0)
+        # A predicated load of a *bogus* address: must only access memory
+        # when the predicate is true.
+        bogus = fb.mov_imm(heap.alloc(8))
+        fb.load(bogus, 0, dest="r100", pred=p)
+        fb.store(fb.mov_imm(cell), "r100")
+        fb.halt()
+        prog.finalize()
+        return prog, heap
+
+    def test_false_predicated_load_makes_no_access(self):
+        prog, heap = self.build(taken=False)
+        stats = simulate(prog, heap, "inorder")
+        assert stats.memory.total_accesses() == 0  # stores aside
+        prog2, heap2 = self.build(taken=True)
+        stats2 = simulate(prog2, heap2, "inorder")
+        assert stats2.memory.total_accesses() >= 1
+
+
+class TestPrefetchTiming:
+    def test_lfetch_does_not_block_the_pipeline(self):
+        """A prefetch is fire-and-forget: issuing 20 of them costs far
+        less than 20 blocking loads."""
+        def build(use_prefetch):
+            prog = Program(entry="main")
+            fb = FunctionBuilder(prog.add_function("main"))
+            heap = Heap(1 << 22)
+            lines = [heap.alloc(64, align=64) for _ in range(20)]
+            sink = fb.mov_imm(0, dest="r100")
+            for line in lines:
+                base = fb.mov_imm(line)
+                if use_prefetch:
+                    fb.prefetch(base, 0)
+                else:
+                    v = fb.load(base, 0)
+                    fb.add("r100", v, dest="r100")  # force the stall
+            fb.halt()
+            prog.finalize()
+            return prog, heap
+
+        prog_pf, heap_pf = build(True)
+        pf = simulate(prog_pf, heap_pf, "inorder")
+        prog_ld, heap_ld = build(False)
+        ld = simulate(prog_ld, heap_ld, "inorder")
+        assert pf.cycles * 3 < ld.cycles
+
+    def test_prefetch_counted(self):
+        prog, heap, _ = mcf_like_workload(ssp=True, narcs=100, nnodes=20)
+        stats = simulate(prog, heap, "inorder")
+        assert stats.memory.prefetches_issued > 50
+
+
+class TestLiveInBufferTiming:
+    def test_chain_snapshot_isolated_under_timing(self):
+        """The LIB snapshot at spawn prevents the parent's later writes
+        from leaking into an already-spawned child, even under SMT
+        interleaving (the mcf chain would corrupt otherwise: sums match
+        the functional run exactly)."""
+        prog, heap, out = mcf_like_workload(ssp=True, narcs=300,
+                                            nnodes=60)
+        simulate(prog, heap, "inorder")
+        base_prog, base_heap, base_out = mcf_like_workload(
+            ssp=False, narcs=300, nnodes=60)
+        simulate(base_prog, base_heap, "inorder")
+        assert heap.load(out) == base_heap.load(base_out)
+
+
+class TestSMTFairness:
+    def test_main_thread_priority(self):
+        """Speculative threads may not starve the main thread: with
+        spec threads spinning, main-thread completion time must stay
+        within a small factor of solo execution."""
+        def build(spin: bool):
+            prog = Program(entry="main")
+            fb = FunctionBuilder(prog.add_function("main"))
+            heap = Heap(1 << 16)
+            if spin:
+                fb.chk_c("stub")
+            fb.mov_imm(0, dest="r100")
+            fb.label("loop")
+            fb.add("r100", imm=1, dest="r100")
+            p = fb.cmp("lt", "r100", imm=3000)
+            fb.br_cond(p, "loop")
+            fb.halt()
+            if spin:
+                fb.label("stub")
+                fb.spawn("spinner")
+                fb.rfi()
+                fb.label("spinner")
+                fb.mov_imm(0, dest="r110")
+                fb.label("spin")
+                fb.add("r110", imm=1, dest="r110")
+                q = fb.cmp("lt", "r110", imm=10 ** 9)
+                fb.br_cond(q, "spin")
+                fb.kill()
+            prog.finalize()
+            return prog, heap
+
+        prog_solo, heap_solo = build(False)
+        solo = simulate(prog_solo, heap_solo, "inorder")
+        prog_spin, heap_spin = build(True)
+        shared = simulate(prog_spin, heap_spin, "inorder")
+        # Main keeps its fetch priority; SMT sharing costs < 2.2x even
+        # against a pathological spinner (bundle sharing: 6 -> 3 wide).
+        assert shared.cycles < solo.cycles * 2.2
+
+
+class TestConfigVariants:
+    def test_wider_fill_buffer_helps_chaining(self):
+        """Chaining threads generate the memory-level parallelism that
+        the fill buffer caps: shrinking it to 2 entries throttles the
+        prefetch rate of the SSP binary."""
+        prog, heap, _ = mcf_like_workload(ssp=True, narcs=300, nnodes=200)
+        narrow_cfg = dataclasses.replace(inorder_config(),
+                                         fill_buffer_entries=2)
+        narrow = simulate(prog, heap, "inorder", config=narrow_cfg)
+        prog2, heap2, _ = mcf_like_workload(ssp=True, narcs=300,
+                                            nnodes=200)
+        wide = simulate(prog2, heap2, "inorder")
+        assert wide.cycles < narrow.cycles
+
+    def test_higher_memory_latency_hurts(self):
+        prog, heap, _ = mcf_like_workload(narcs=200, nnodes=40)
+        slow_cfg = dataclasses.replace(inorder_config(),
+                                       memory_latency=500)
+        slow = simulate(prog, heap, "inorder", config=slow_cfg,
+                        spawning=False)
+        prog2, heap2, _ = mcf_like_workload(narcs=200, nnodes=40)
+        fast = simulate(prog2, heap2, "inorder", spawning=False)
+        assert slow.cycles > fast.cycles * 1.5
+
+    def test_mispredict_penalty_scales(self):
+        import random
+        def build():
+            rng = random.Random(9)
+            prog = Program(entry="main")
+            fb = FunctionBuilder(prog.add_function("main"))
+            heap = Heap(1 << 20)
+            data = heap.alloc_array(500, 8)
+            for i in range(500):
+                heap.store(data + i * 8, rng.randrange(2))
+            fb.mov_imm(data, dest="r100")
+            fb.mov_imm(data + 500 * 8, dest="r101")
+            fb.label("loop")
+            v = fb.load("r100", 0)
+            p = fb.cmp("eq", v, imm=1)
+            fb.br_cond(p, "skip")
+            fb.label("skip")
+            fb.add("r100", imm=8, dest="r100")
+            q = fb.cmp("lt", "r100", "r101")
+            fb.br_cond(q, "loop")
+            fb.halt()
+            prog.finalize()
+            return prog, heap
+
+        prog, heap = build()
+        cheap_cfg = dataclasses.replace(
+            inorder_config().with_perfect_memory(), pipeline_stages=2)
+        cheap = simulate(prog, heap, "inorder", config=cheap_cfg)
+        prog2, heap2 = build()
+        dear_cfg = dataclasses.replace(
+            inorder_config().with_perfect_memory(), pipeline_stages=40)
+        dear = simulate(prog2, heap2, "inorder", config=dear_cfg)
+        assert dear.cycles > cheap.cycles

@@ -1,0 +1,184 @@
+"""Tests for profile collection, delinquent selection, and the full tool."""
+
+import pytest
+
+from repro.profiling import collect_profile, select_delinquent_loads
+from repro.sim import simulate
+from repro.tool import SSPPostPassTool, ToolOptions
+from repro.workloads import make_workload
+
+from helpers import mcf_like_workload
+
+
+def build_mcf_profile():
+    prog, heap, out = mcf_like_workload(narcs=60, nnodes=16)
+
+    def heap_factory():
+        return mcf_like_workload(narcs=60, nnodes=16)[1]
+
+    return prog, collect_profile(prog, heap_factory)
+
+
+class TestProfileCollection:
+    def test_cache_profile_has_the_loads(self):
+        prog, profile = build_mcf_profile()
+        loads = [i for i in prog.function("main").block("loop").instrs
+                 if i.op == "ld"]
+        for load in loads[:2]:
+            assert profile.misses_of(load.uid) > 10
+            assert profile.miss_cycles_of(load.uid) > 1000
+
+    def test_block_frequencies(self):
+        prog, profile = build_mcf_profile()
+        assert profile.block_count("main", "loop") == 60
+        assert profile.block_count("main", "entry") == 1
+
+    def test_load_latency_map(self):
+        prog, profile = build_mcf_profile()
+        latency = profile.load_latency_map()
+        loads = [i for i in prog.function("main").block("loop").instrs
+                 if i.op == "ld"]
+        assert latency[loads[0].uid] > 50  # mostly misses
+
+    def test_baseline_cycles_positive(self):
+        _, profile = build_mcf_profile()
+        assert profile.baseline_cycles > 10_000
+
+    def test_executions_counted(self):
+        prog, profile = build_mcf_profile()
+        loads = [i for i in prog.function("main").block("loop").instrs
+                 if i.op == "ld"]
+        assert profile.executions_of(loads[0].uid) == 60
+
+
+class TestDelinquentSelection:
+    def test_coverage_reached(self):
+        prog, profile = build_mcf_profile()
+        selected = select_delinquent_loads(profile, coverage=0.90,
+                                           min_misses=1)
+        covered = sum(profile.misses_of(uid) for uid in selected)
+        assert covered / profile.total_misses() >= 0.90
+
+    def test_min_miss_filter_limits_selection(self):
+        prog, profile = build_mcf_profile()
+        noisy = select_delinquent_loads(profile, coverage=0.999,
+                                        min_misses=1)
+        filtered = select_delinquent_loads(profile, coverage=0.999,
+                                           min_misses=50)
+        assert len(filtered) <= len(noisy)
+
+    def test_max_loads_respected(self):
+        prog, profile = build_mcf_profile()
+        selected = select_delinquent_loads(profile, coverage=0.9999,
+                                           max_loads=1)
+        assert len(selected) == 1
+
+    def test_ranked_by_misses(self):
+        prog, profile = build_mcf_profile()
+        selected = select_delinquent_loads(profile, coverage=0.9999,
+                                           max_loads=10, min_misses=1)
+        misses = [profile.misses_of(uid) for uid in selected]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_empty_profile(self):
+        from repro.profiling.profile import ProgramProfile
+        prog, _, _ = mcf_like_workload(narcs=5, nnodes=5)
+        profile = ProgramProfile(prog, {}, {}, {}, 0)
+        assert select_delinquent_loads(profile) == []
+
+
+class TestToolEndToEnd:
+    @pytest.fixture(scope="class")
+    def mcf(self):
+        w = make_workload("mcf", "tiny")
+        prog = w.build_program()
+        profile = collect_profile(prog, w.build_heap)
+        result = SSPPostPassTool().adapt(prog, profile)
+        return w, prog, profile, result
+
+    def test_finds_both_figure3_loads(self, mcf):
+        w, prog, profile, result = mcf
+        loop_loads = [i for i in
+                      prog.function("main").block("arc_loop").instrs
+                      if i.op == "ld"]
+        assert set(result.delinquent_uids) >= {loop_loads[0].uid,
+                                               loop_loads[1].uid}
+
+    def test_decision_trace_recorded(self, mcf):
+        _, _, _, result = mcf
+        assert result.decisions
+        selected = [d for d in result.decisions if d.selected]
+        assert selected
+        assert any(d.kind == "chaining" for d in selected)
+
+    def test_combined_into_one_slice(self, mcf):
+        _, _, _, result = mcf
+        # Both delinquent loads share the arc loop -> one merged slice.
+        arc_records = [r for r in result.adapted.records
+                       if r.kind == "chaining"]
+        assert len(arc_records) == 1
+        covered = arc_records[0].scheduled.region_slice.delinquent_uids
+        assert len(covered) >= 2
+
+    def test_speedup_and_correctness(self, mcf):
+        w, prog, profile, result = mcf
+        heap = w.build_heap()
+        stats = simulate(result.program, heap, "inorder")
+        w.check_output(heap)
+        assert profile.baseline_cycles / stats.cycles > 1.5
+
+    def test_adaptation_is_idempotent_on_inputs(self, mcf):
+        w, prog, profile, result = mcf
+        again = SSPPostPassTool().adapt(prog, profile)
+        assert again.delinquent_uids == result.delinquent_uids
+        assert again.table2_row() == result.table2_row()
+
+    def test_no_delinquent_loads_no_adaptation(self):
+        from repro.isa import FunctionBuilder, Heap, Program
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        fb.mov_imm(1)
+        fb.halt()
+        prog.finalize()
+
+        def heap_factory():
+            return Heap(1 << 14)
+
+        profile = collect_profile(prog, heap_factory)
+        result = SSPPostPassTool().adapt(prog, profile)
+        assert result.adapted is None
+        assert result.delinquent_uids == []
+
+    def test_disable_chaining_option(self, mcf):
+        w, prog, profile, _ = mcf
+        result = SSPPostPassTool(
+            ToolOptions(disable_chaining=True)).adapt(prog, profile)
+        assert set(result.kinds()) == {"basic"}
+
+    def test_tight_live_in_budget_drops_slices(self, mcf):
+        w, prog, profile, _ = mcf
+        result = SSPPostPassTool(
+            ToolOptions(max_live_ins=0)).adapt(prog, profile)
+        assert result.adapted is None
+
+    def test_small_trip_count_prefers_basic(self, mcf):
+        w, prog, profile, _ = mcf
+        result = SSPPostPassTool(
+            ToolOptions(small_trip_count=1e9)).adapt(prog, profile)
+        assert set(result.kinds()) == {"basic"}
+
+
+class TestToolOnEveryWorkload:
+    @pytest.mark.parametrize("name", ["em3d", "health", "mst",
+                                      "treeadd.df", "treeadd.bf", "mcf",
+                                      "vpr"])
+    def test_adapts_cleanly_and_correctly(self, name):
+        w = make_workload(name, "tiny")
+        prog = w.build_program()
+        profile = collect_profile(prog, w.build_heap)
+        result = SSPPostPassTool().adapt(prog, profile)
+        assert result.adapted is not None, f"{name}: no slices"
+        heap = w.build_heap()
+        stats = simulate(result.program, heap, "inorder")
+        w.check_output(heap)  # speculation never corrupts the result
+        assert stats.spawns > 0

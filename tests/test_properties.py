@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import networkx as nx
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.cfg import CFG, EXIT
+from repro.analysis.dominance import dominator_tree
+from repro.isa import FunctionBuilder, Program
+from repro.sim.branch import GsharePredictor
+from repro.sim.caches import CacheLevel
+from repro.sim.config import CacheConfig
+from repro.scheduling.rotation import _score
+from repro.scheduling.slack import reduced_miss_cycles
+
+
+# ---------------------------------------------------------------------------
+# Random CFGs: build a function whose blocks branch per a random edge list.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_cfg(draw):
+    n = draw(st.integers(2, 8))
+    prog = Program()
+    fb = FunctionBuilder(prog.add_function("f"))
+    labels = [f"b{i}" for i in range(n)]
+    # Each block conditionally branches to one random target and falls
+    # through to the next block (or halts at the end).
+    targets = [draw(st.integers(0, n - 1)) for _ in range(n)]
+    for i, label in enumerate(labels):
+        if i == 0:
+            fb.label(label) if label != "entry" else None
+        if i > 0:
+            fb.label(label)
+        p = fb.cmp("eq", "r0", imm=0)
+        fb.br_cond(p, labels[targets[i]])
+        if i == n - 1:
+            fb.halt()
+    func = prog.function("f")
+    return CFG(func)
+
+
+class TestDominanceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_cfg())
+    def test_matches_networkx_idom(self, cfg):
+        reachable = cfg.reachable() - {EXIT}
+        assume(len(reachable) >= 2)
+        g = nx.DiGraph()
+        g.add_node(cfg.entry)
+        for src, dst in cfg.edges():
+            if dst != EXIT and src in reachable:
+                g.add_edge(src, dst)
+        expected = nx.immediate_dominators(g, cfg.entry)
+        dom = dominator_tree(cfg)
+        for node in reachable:
+            if node == cfg.entry or node not in expected:
+                continue
+            assert dom.idom.get(node) == expected[node], \
+                f"idom({node}) mismatch"
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_cfg())
+    def test_entry_dominates_everything(self, cfg):
+        dom = dominator_tree(cfg)
+        for node in cfg.reachable() - {EXIT}:
+            assert dom.dominates(cfg.entry, node)
+
+
+class TestCacheProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=200))
+    def test_lru_matches_reference_model(self, accesses):
+        cache = CacheLevel(CacheConfig(4 * 64 * 4, 4, 1))  # 4 sets, 4 ways
+        sets = cache.num_sets
+        reference = {s: [] for s in range(sets)}
+        for line in accesses:
+            s = line & (sets - 1)
+            ref = reference[s]
+            expected_hit = line in ref
+            hit = cache.lookup(line)
+            assert hit == expected_hit
+            if not hit:
+                cache.insert(line)
+                ref.append(line)
+                if len(ref) > 4:
+                    ref.pop(0)
+            else:
+                ref.remove(line)
+                ref.append(line)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=80))
+    def test_occupancy_never_exceeds_ways(self, lines):
+        cache = CacheLevel(CacheConfig(2 * 64 * 2, 2, 1))  # 2 sets, 2 ways
+        for line in lines:
+            cache.insert(line)
+        for s in cache._sets:
+            assert len(s) <= 2
+
+
+class TestPredictorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    def test_counters_stay_saturating(self, outcomes):
+        pred = GsharePredictor(entries=64)
+        for taken in outcomes:
+            pred.predict_and_update(12, 0, taken)
+        assert all(0 <= c <= 3 for c in pred._counters)
+
+    def test_learns_always_taken(self):
+        pred = GsharePredictor(entries=64)
+        for _ in range(8):
+            pred.predict_and_update(40, 0, True)
+        before = pred.mispredicts
+        for _ in range(50):
+            pred.predict_and_update(40, 0, True)
+        assert pred.mispredicts == before
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6))
+    def test_entries_must_be_power_of_two(self, shift):
+        GsharePredictor(entries=1 << shift)  # fine
+        import pytest
+        with pytest.raises(ValueError):
+            GsharePredictor(entries=(1 << shift) + 1)
+
+
+class TestRotationProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(2, 12), st.data())
+    def test_admissible_scores_only(self, n, data):
+        intra = data.draw(st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=10).map(
+                lambda deps: [(a, b) for a, b in deps if a < b]))
+        carried = data.draw(st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=10))
+        # k=0 must always be admissible (identity preserves intra order).
+        assert _score(0, n, carried, intra) is not None
+        for k in range(n):
+            score = _score(k, n, carried, intra)
+            if score is None:
+                continue
+            # Check admissibility directly.
+            def rot(p):
+                return (p - k) % n
+            assert all(rot(a) < rot(b) for a, b in intra)
+            assert 0 <= score <= len(carried)
+
+
+class TestSlackProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(0.1, 1000), st.integers(1, 10_000),
+           st.floats(0.1, 1000))
+    def test_reduced_miss_cycles_bounded(self, slack, trips, miss):
+        value = reduced_miss_cycles(slack, trips, miss)
+        assert 0 <= value <= trips * miss + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0.1, 100), st.integers(1, 1000), st.floats(0.1, 100))
+    def test_monotone_in_slack(self, slack, trips, miss):
+        low = reduced_miss_cycles(slack, trips, miss)
+        high = reduced_miss_cycles(slack * 2, trips, miss)
+        assert high >= low - 1e-9

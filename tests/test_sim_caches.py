@@ -1,0 +1,165 @@
+"""Unit tests for the cache hierarchy, fill buffer, TLB and partial misses."""
+
+import pytest
+
+from repro.sim import MemorySystem, inorder_config
+from repro.sim.caches import L1, L2, L3, MEM, CacheLevel
+from repro.sim.config import CacheConfig
+
+
+def mem():
+    return MemorySystem(inorder_config())
+
+
+class TestCacheLevel:
+    def test_hit_after_insert(self):
+        cache = CacheLevel(CacheConfig(16 * 1024, 4, 2))
+        cache.insert(42)
+        assert cache.lookup(42)
+
+    def test_miss_when_absent(self):
+        cache = CacheLevel(CacheConfig(16 * 1024, 4, 2))
+        assert not cache.lookup(42)
+
+    def test_lru_eviction(self):
+        cache = CacheLevel(CacheConfig(16 * 1024, 4, 2))
+        sets = cache.num_sets
+        lines = [i * sets for i in range(5)]  # all map to set 0
+        for line in lines[:4]:
+            cache.insert(line)
+        cache.lookup(lines[0])        # make line 0 MRU
+        evicted = cache.insert(lines[4])
+        assert evicted == lines[1]    # line 1 was LRU
+        assert cache.contains(lines[0])
+
+    def test_reinsert_touches_not_evicts(self):
+        cache = CacheLevel(CacheConfig(16 * 1024, 4, 2))
+        cache.insert(0)
+        assert cache.insert(0) is None
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheLevel(CacheConfig(1000, 3, 2))
+
+
+class TestHierarchy:
+    def test_cold_miss_goes_to_memory(self):
+        m = mem()
+        r = m.access(0x2000, now=0, uid=1, is_main=True)
+        assert r.level == MEM
+        # Memory latency plus the first-touch TLB miss penalty.
+        assert r.ready == m.config.memory_latency + m.config.tlb_miss_penalty
+
+    def test_second_access_hits_l1(self):
+        m = mem()
+        first = m.access(0x2000, 0, 1, True)
+        r = m.access(0x2000, first.ready + 1, 1, True)
+        assert r.level == L1
+        assert r.ready == first.ready + 1 + m.config.l1.latency
+
+    def test_same_line_different_word_hits(self):
+        m = mem()
+        first = m.access(0x2000, 0, 1, True)
+        r = m.access(0x2038, first.ready + 1, 1, True)  # same 64B line
+        assert r.level == L1
+
+    def test_partial_miss_on_in_transit_line(self):
+        m = mem()
+        first = m.access(0x2000, 0, 1, True)
+        r = m.access(0x2000, 10, 2, True)  # long before fill completes
+        assert r.partial
+        assert r.level == MEM              # origin of the fill
+        assert r.ready == first.ready      # completes with the fill
+
+    def test_prefetch_then_demand_load_is_partial(self):
+        m = mem()
+        pf = m.access(0x4000, 0, 99, is_main=False, is_prefetch=True)
+        demand = m.access(0x4000, 50, 1, is_main=True)
+        assert demand.partial and demand.ready == pf.ready
+
+    def test_prefetch_long_before_demand_gives_l1_hit(self):
+        m = mem()
+        pf = m.access(0x4000, 0, 99, is_main=False, is_prefetch=True)
+        demand = m.access(0x4000, pf.ready + 10, 1, True)
+        assert demand.level == L1 and not demand.partial
+
+    def test_l2_hit_after_l1_eviction(self):
+        m = mem()
+        cfg = m.config
+        # Fill far more lines than L1 holds, all resident in L2 afterwards.
+        lines = cfg.l1.size_bytes // 64 * 2
+        t = 0
+        for i in range(lines):
+            t = m.access(0x2000 + i * 64, t, 1, True).ready + 1
+        r = m.access(0x2000, t + 1000, 1, True)
+        assert r.level in (L2, L3)  # evicted from L1, held below
+
+    def test_perfect_memory_mode(self):
+        m = MemorySystem(inorder_config().with_perfect_memory())
+        r = m.access(0x2000, 0, 1, True)
+        assert r.level == L1 and r.ready == m.config.l1.latency
+
+    def test_perfect_delinquent_load_mode(self):
+        m = MemorySystem(inorder_config().with_perfect_loads({7}))
+        fast = m.access(0x2000, 0, 7, True)
+        slow = m.access(0x6000, 0, 8, True)
+        assert fast.level == L1
+        assert slow.level == MEM
+
+
+class TestFillBuffer:
+    def test_fill_buffer_limits_outstanding_misses(self):
+        m = mem()
+        cfg = m.config
+        results = [m.access(0x2000 + i * 64, 0, i, True)
+                   for i in range(cfg.fill_buffer_entries + 4)]
+        # The 17th+ miss cannot start until an earlier fill completes.
+        ready = sorted(r.ready for r in results)
+        assert ready[-1] > ready[0] + cfg.memory_latency // 2
+
+
+class TestTLB:
+    def test_tlb_miss_penalty_applied_once(self):
+        m = mem()
+        first = m.access(0x2000, 0, 1, True)
+        # Same page later: L1 hit without the TLB penalty.
+        later = m.access(0x2008, first.ready + 5, 1, True)
+        assert later.ready - (first.ready + 5) == m.config.l1.latency
+        assert m.tlb_misses == 1
+
+
+class TestStatistics:
+    def test_main_loads_recorded(self):
+        m = mem()
+        m.access(0x2000, 0, 5, is_main=True)
+        assert m.load_stats[5].accesses == 1
+        assert m.load_stats[5].hits[MEM] == 1
+        assert m.load_stats[5].miss_cycles > 0
+
+    def test_spec_thread_loads_not_recorded(self):
+        m = mem()
+        m.access(0x2000, 0, 5, is_main=False)
+        assert 5 not in m.load_stats
+
+    def test_stores_and_prefetches_not_in_load_stats(self):
+        m = mem()
+        m.access(0x2000, 0, 5, is_main=True, is_store=True)
+        m.access(0x3000, 0, 6, is_main=True, is_prefetch=True)
+        assert not m.load_stats
+        assert m.prefetches_issued == 1
+
+    def test_miss_rate(self):
+        m = mem()
+        r = m.access(0x2000, 0, 5, True)
+        m.access(0x2000, r.ready + 1, 5, True)
+        stats = m.load_stats[5]
+        assert stats.accesses == 2 and stats.l1_misses == 1
+        assert stats.miss_rate() == 0.5
+
+    def test_flush_clears_state_not_stats(self):
+        m = mem()
+        r = m.access(0x2000, 0, 5, True)
+        m.flush()
+        r2 = m.access(0x2000, r.ready + 1, 5, True)
+        assert r2.level == MEM  # cold again
+        assert m.load_stats[5].accesses == 2

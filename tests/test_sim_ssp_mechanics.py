@@ -1,0 +1,105 @@
+"""End-to-end tests of the SSP hardware mechanisms (chk.c / spawn / LIB).
+
+These use a hand-adapted chaining-SP binary (the Figure 5/7 shape) to check
+that the simulator reproduces the paper's core claims *before* any compiler
+machinery is involved.
+"""
+
+import pytest
+
+from repro.sim import simulate
+
+from helpers import mcf_like_workload
+
+
+def run_pair(model, **kw):
+    base_prog, base_heap, base_out = mcf_like_workload(ssp=False, **kw)
+    base = simulate(base_prog, base_heap, model)
+    ssp_prog, ssp_heap, ssp_out = mcf_like_workload(ssp=True, **kw)
+    ssp = simulate(ssp_prog, ssp_heap, model)
+    return base, ssp, (base_heap.load(base_out), ssp_heap.load(ssp_out))
+
+
+class TestChainingSSPInOrder:
+    def test_speedup_and_correctness(self):
+        base, ssp, (sum_base, sum_ssp) = run_pair("inorder")
+        assert sum_base == sum_ssp  # speculation never alters main state
+        assert base.cycles / ssp.cycles > 1.5
+
+    def test_one_trigger_many_chained_spawns(self):
+        _, ssp, _ = run_pair("inorder")
+        assert ssp.chk_fired == 1
+        assert ssp.spawns >= 1000  # the chain kept itself alive
+
+    def test_l3_stall_cycles_reduced(self):
+        base, ssp, _ = run_pair("inorder")
+        assert ssp.cycle_breakdown["L3"] < base.cycle_breakdown["L3"] * 0.6
+
+    def test_spec_threads_do_work(self):
+        _, ssp, _ = run_pair("inorder")
+        assert ssp.spec_instructions > 0
+        assert ssp.memory.prefetches_issued > 500
+
+
+class TestChainingSSPOOO:
+    def test_speedup_and_correctness(self):
+        base, ssp, (sum_base, sum_ssp) = run_pair("ooo")
+        assert sum_base == sum_ssp
+        assert ssp.cycles < base.cycles
+
+    def test_chain_survives(self):
+        _, ssp, _ = run_pair("ooo")
+        assert ssp.spawns >= 1000
+
+
+class TestSpawningDisabled:
+    def test_chk_never_fires_when_disabled(self):
+        prog, heap, _ = mcf_like_workload(ssp=True)
+        stats = simulate(prog, heap, "inorder", spawning=False)
+        assert stats.chk_fired == 0
+        assert stats.spawns == 0
+
+    def test_disabled_ssp_binary_matches_baseline_shape(self):
+        prog, heap, out = mcf_like_workload(ssp=True)
+        stats = simulate(prog, heap, "inorder", spawning=False)
+        base_prog, base_heap, base_out = mcf_like_workload(ssp=False)
+        base = simulate(base_prog, base_heap, "inorder")
+        assert heap.load(out) == base_heap.load(base_out)
+        # chk.c as nop: the adapted binary costs within 2% of baseline.
+        assert stats.cycles <= base.cycles * 1.02
+
+
+class TestDelinquentLoadProfile:
+    def test_profile_identifies_the_two_loads(self):
+        prog, heap, _ = mcf_like_workload(ssp=False)
+        stats = simulate(prog, heap, "inorder", spawning=False)
+        top = stats.top_loads_by_miss_cycles(2)
+        loads = [i for i in prog.code if i.op == "ld"]
+        assert set(top) <= {ld.uid for ld in loads}
+        total = stats.total_miss_cycles()
+        covered = sum(stats.load_miss_cycles(uid) for uid in top)
+        assert covered / total > 0.9
+
+    def test_figure9_breakdown_shape(self):
+        prog, heap, _ = mcf_like_workload(ssp=False)
+        stats = simulate(prog, heap, "inorder")
+        uids = stats.top_loads_by_miss_cycles(2)
+        breakdown = stats.delinquent_breakdown(uids)
+        assert breakdown["miss rate"] > 0.5
+        fractions = [v for k, v in breakdown.items() if k != "miss rate"]
+        assert all(0 <= f <= 1 for f in fractions)
+
+    def test_ssp_shifts_hits_toward_partial_and_near_levels(self):
+        # Each build has fresh instruction uids, so take the delinquent
+        # loads positionally: the two loads of the main loop.
+        base_prog, base_heap, _ = mcf_like_workload(ssp=False)
+        base = simulate(base_prog, base_heap, "inorder")
+        base_uids = [i.uid for i in base_prog.code if i.op == "ld"]
+        ssp_prog, ssp_heap, _ = mcf_like_workload(ssp=True)
+        ssp = simulate(ssp_prog, ssp_heap, "inorder")
+        main_func = ssp_prog.function("main")
+        ssp_uids = [i.uid for i in main_func.block("loop").instrs
+                    if i.op == "ld"]
+        b = base.delinquent_breakdown(base_uids)
+        s = ssp.delinquent_breakdown(ssp_uids)
+        assert s["Mem Hit"] < b["Mem Hit"]  # full-latency misses reduced

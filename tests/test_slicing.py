@@ -1,0 +1,237 @@
+"""Tests for context-sensitive, speculative, and region-based slicing."""
+
+import pytest
+
+from repro.analysis import CFG, CallGraph, DependenceGraph, RegionGraph
+from repro.isa import FunctionBuilder, Program
+from repro.slicing import (
+    ContextSensitiveSlicer,
+    executed_instruction_uids,
+    live_in_registers,
+    merge_region_slices,
+    restrict_to_region,
+)
+
+from helpers import mcf_like_workload
+
+
+def build_analyses(prog, indirect=None):
+    cfgs, dgs = {}, {}
+    for name, func in prog.functions.items():
+        cfg = CFG(func)
+        cfgs[name] = cfg
+        dgs[name] = DependenceGraph(func, cfg)
+    cg = CallGraph(prog, indirect)
+    return cfgs, dgs, cg
+
+
+class TestIntraproceduralSlicing:
+    def setup_method(self):
+        self.prog, _, _ = mcf_like_workload(narcs=30, nnodes=10)
+        self.func = self.prog.function("main")
+        _, self.dgs, self.cg = build_analyses(self.prog)
+        self.slicer = ContextSensitiveSlicer(self.prog, self.cg, self.dgs)
+
+    def test_slice_contains_address_chain(self):
+        loads = [i for i in self.func.block("loop").instrs if i.op == "ld"]
+        result = self.slicer.slice_load_address(loads[1], "main")
+        uids = result.uids_in("main")
+        ops = [self.dgs["main"].instr_of[u].op for u in uids]
+        assert "ld" in ops       # the feeding load t->tail
+        assert "add" in ops      # the induction update
+        assert not result.interprocedural
+
+    def test_slice_excludes_unrelated_computation(self):
+        loads = [i for i in self.func.block("loop").instrs if i.op == "ld"]
+        result = self.slicer.slice_load_address(loads[1], "main")
+        uids = result.uids_in("main")
+        # The accumulator add (r52) does not feed the address.
+        acc = next(i for i in self.func.block("loop").instrs
+                   if i.op == "add" and i.dest == "r52")
+        assert acc.uid not in uids
+
+    def test_slice_never_contains_stores(self):
+        loads = [i for i in self.func.block("loop").instrs if i.op == "ld"]
+        result = self.slicer.slice_load_address(loads[1], "main")
+        for uid in result.uids_in("main"):
+            assert not self.dgs["main"].instr_of[uid].is_store
+
+
+class TestInterproceduralSlicing:
+    def build(self):
+        """main loops calling addr_of(key) whose return feeds a load."""
+        prog = Program(entry="main")
+        g = FunctionBuilder(prog.add_function("addr_of", num_params=2))
+        key, base = g.params(2)
+        off = g.shl(key, 3)
+        g.ret(g.add(base, off))
+        m = FunctionBuilder(prog.add_function("main"))
+        m.mov_imm(0, dest="r100")
+        m.mov_imm(0x2000, dest="r101")
+        m.label("loop")
+        addr = m.call_fresh("addr_of", ["r100", "r101"])
+        m.load(addr, 0, dest="r102")
+        m.add("r100", imm=1, dest="r100")
+        p = m.cmp("lt", "r100", imm=10)
+        m.br_cond(p, "loop")
+        m.halt()
+        prog.finalize()
+        return prog
+
+    def test_callee_summary_spliced(self):
+        prog = self.build()
+        _, dgs, cg = build_analyses(prog)
+        slicer = ContextSensitiveSlicer(prog, cg, dgs)
+        load = next(i for i in prog.function("main").instructions()
+                    if i.op == "ld")
+        result = slicer.slice_load_address(load, "main")
+        assert result.interprocedural
+        assert "addr_of" in result.callees
+        callee_ops = [dgs["addr_of"].instr_of[u].op
+                      for u in result.uids_in("addr_of")]
+        assert "shl" in callee_ops and "add" in callee_ops
+
+    def test_summary_reports_formals(self):
+        prog = self.build()
+        _, dgs, cg = build_analyses(prog)
+        slicer = ContextSensitiveSlicer(prog, cg, dgs)
+        summary = slicer.summary("addr_of")
+        assert summary.formals == {0, 1}
+
+    def test_recursive_summary_reaches_fixed_point(self):
+        prog = Program(entry="main")
+        r = FunctionBuilder(prog.add_function("walk", num_params=1))
+        (n,) = r.params(1)
+        p = r.cmp("eq", n, imm=0)
+        r.br_cond(p, "base")
+        nxt = r.load(n, 8)
+        r.ret(r.call_fresh("walk", [nxt]))
+        r.label("base")
+        r.ret(n)
+        m = FunctionBuilder(prog.add_function("main"))
+        m.call_fresh("walk", [m.mov_imm(0x2000)])
+        m.halt()
+        prog.finalize()
+        _, dgs, cg = build_analyses(prog)
+        slicer = ContextSensitiveSlicer(prog, cg, dgs)
+        summary = slicer.summary("walk")  # must terminate
+        assert 0 in summary.formals
+
+    def test_recursive_prefetch_substitution(self):
+        """treeadd shape: the address formal maps to this activation's
+        child loads at the self-call sites."""
+        prog = Program(entry="main")
+        t = FunctionBuilder(prog.add_function("tsum", num_params=1))
+        (n,) = t.params(1)
+        p = t.cmp("eq", n, imm=0)
+        t.br_cond(p, "base")
+        left = t.load(n, 8, dest="r110")
+        right = t.load(n, 16, dest="r111")
+        v = t.load(n, 0, dest="r112")
+        a = t.call_fresh("tsum", ["r110"])
+        b = t.call_fresh("tsum", ["r111"])
+        t.ret(t.add(t.add(a, b), "r112"))
+        t.label("base")
+        t.ret(t.mov_imm(0))
+        m = FunctionBuilder(prog.add_function("main"))
+        m.call_fresh("tsum", [m.mov_imm(0x2000)])
+        m.halt()
+        prog.finalize()
+        _, dgs, cg = build_analyses(prog)
+        slicer = ContextSensitiveSlicer(prog, cg, dgs)
+        value_load = next(i for i in prog.function("tsum").instructions()
+                          if i.op == "ld" and i.imm == 0)
+        result = slicer.slice_load_address(value_load, "tsum")
+        producers = {dgs["tsum"].instr_of[uid].dest
+                     for uid, _ in result.substituted_prefetches}
+        assert producers == {"r110", "r111"}
+        offsets = {off for _, off in result.substituted_prefetches}
+        assert offsets == {0}
+
+
+class TestSpeculativeSlicing:
+    def test_cold_blocks_filtered(self):
+        prog, _, _ = mcf_like_workload(narcs=30, nnodes=10)
+        freq = {"main": {"entry": 1, "loop": 1000, ".fall1": 0}}
+        allowed = executed_instruction_uids(prog, freq)
+        fall = prog.function("main").block(".fall1")
+        for instr in fall.instrs:
+            assert instr.uid not in allowed
+        for instr in prog.function("main").block("loop").instrs:
+            assert instr.uid in allowed
+
+    def test_unprofiled_function_kept(self):
+        prog, _, _ = mcf_like_workload(narcs=30, nnodes=10)
+        allowed = executed_instruction_uids(prog, {})
+        assert all(i.uid in allowed
+                   for i in prog.function("main").instructions())
+
+    def test_never_executed_instruction_filtered(self):
+        prog, _, _ = mcf_like_workload(narcs=30, nnodes=10)
+        freq = {"main": {"entry": 1, "loop": 1000, ".fall1": 1}}
+        loop_instrs = prog.function("main").block("loop").instrs
+        counts = {i.uid: 5 for i in prog.instructions()}
+        counts[loop_instrs[0].uid] = 0
+        allowed = executed_instruction_uids(prog, freq,
+                                            exec_counts=counts)
+        assert loop_instrs[0].uid not in allowed
+
+
+class TestRegionSlicing:
+    def setup(self):
+        self.prog, _, _ = mcf_like_workload(narcs=30, nnodes=10)
+        self.func = self.prog.function("main")
+        self.cfgs, self.dgs, self.cg = build_analyses(self.prog)
+        self.rg = RegionGraph(self.prog, self.cg)
+        self.slicer = ContextSensitiveSlicer(self.prog, self.cg, self.dgs)
+        loads = [i for i in self.func.block("loop").instrs
+                 if i.op == "ld"]
+        self.loads = loads
+        self.slices = [self.slicer.slice_load_address(l, "main")
+                       for l in loads]
+        self.region = self.rg.region_of_block("main", "loop")
+
+    def test_restriction_drops_out_of_region_code(self):
+        self.setup()
+        rs = restrict_to_region(self.slices[1], self.region, self.rg,
+                                self.dgs)
+        blocks = {self.dgs["main"].block_of[i.uid] for i in rs.body}
+        assert blocks == {"loop"}
+
+    def test_restriction_none_when_load_outside(self):
+        self.setup()
+        entry_region = self.rg.proc_region["main"]
+        # Build a fake region with only the entry block.
+        from repro.analysis.regions import Region
+        fake = Region("loop", "main", {"entry"})
+        assert restrict_to_region(self.slices[1], fake, self.rg,
+                                  self.dgs) is None
+
+    def test_live_ins_of_region_slice(self):
+        self.setup()
+        rs = restrict_to_region(self.slices[1], self.region, self.rg,
+                                self.dgs)
+        live = live_in_registers(rs)
+        assert "r50" in live   # arc cursor flows in from the preheader
+
+    def test_merge_unions_bodies_and_delinquents(self):
+        self.setup()
+        rs = [restrict_to_region(s, self.region, self.rg, self.dgs)
+              for s in self.slices]
+        merged = merge_region_slices(rs)
+        assert merged.delinquent_uids == {l.uid for l in self.loads}
+        assert rs[0].body_uids <= merged.body_uids
+        assert rs[1].body_uids <= merged.body_uids
+
+    def test_merge_requires_same_region(self):
+        self.setup()
+        rs = restrict_to_region(self.slices[0], self.region, self.rg,
+                                self.dgs)
+        other_region_slice = restrict_to_region(
+            self.slices[1], self.rg.proc_region["main"], self.rg, self.dgs)
+        with pytest.raises(ValueError):
+            merge_region_slices([rs, other_region_slice])
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_region_slices([])

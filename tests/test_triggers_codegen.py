@@ -1,0 +1,230 @@
+"""Tests for trigger placement, the min-cut formulation, and the emitter."""
+
+import pytest
+
+from repro.analysis import CFG, CallGraph, DependenceGraph, RegionGraph
+from repro.codegen import EmitError, LiveInLayout, SSPEmitter
+from repro.isa import FunctionBuilder, FunctionalInterpreter, Heap, Program
+from repro.isa.interp import LIB_SLOTS
+from repro.scheduling import BasicScheduler, ChainingScheduler
+from repro.slicing import ContextSensitiveSlicer, restrict_to_region
+from repro.triggers import (
+    TriggerPoint,
+    edge_frequencies,
+    optimal_trigger_cut,
+    place_triggers,
+)
+
+from helpers import mcf_like_workload
+
+
+def mcf_setup():
+    prog, heap, out = mcf_like_workload(narcs=40, nnodes=12)
+    func = prog.function("main")
+    cfg = CFG(func)
+    dgs = {"main": DependenceGraph(func, cfg)}
+    cg = CallGraph(prog)
+    rg = RegionGraph(prog, cg)
+    slicer = ContextSensitiveSlicer(prog, cg, dgs)
+    loads = [i for i in func.block("loop").instrs if i.op == "ld"]
+    sl = slicer.slice_load_address(loads[1], "main")
+    region = rg.region_of_block("main", "loop")
+    rs = restrict_to_region(sl, region, rg, dgs)
+    return prog, heap, out, {"main": cfg}, rs, rg
+
+
+class TestPlacement:
+    def test_chaining_trigger_in_preheader(self):
+        prog, _, _, cfgs, rs, rg = mcf_setup()
+        sched = ChainingScheduler().schedule(rs)
+        points = place_triggers(prog, sched, cfgs)
+        assert len(points) == 1
+        point = points[0]
+        assert point.block == "entry"  # the loop's entry block
+        # Placed after the last live-in producer (mov of K into r51).
+        block = prog.function("main").block("entry")
+        defs_before = {i.dest for i in block.instrs[:point.index]}
+        assert set(sched.live_ins) <= defs_before
+
+    def test_basic_loop_trigger_at_header(self):
+        prog, _, _, cfgs, rs, rg = mcf_setup()
+        sched = BasicScheduler().schedule(rs)
+        points = place_triggers(prog, sched, cfgs)
+        assert points == [TriggerPoint("main", "loop", 0)]
+
+    def test_trigger_point_equality_and_hash(self):
+        a = TriggerPoint("f", "b", 1)
+        b = TriggerPoint("f", "b", 1)
+        c = TriggerPoint("f", "b", 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_hoisting_above_empty_dominators(self):
+        """The trigger climbs the dominator chain to the live-in def."""
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        fb.mov_imm(0x2000, dest="r100")   # live-in producer, entry block
+        fb.mov_imm(3, dest="r105")
+        fb.label("middle")                # dominating, no live-in defs
+        fb.sub("r105", imm=1, dest="r105")
+        fb.label("loop")
+        fb.load("r100", 8, dest="r100")
+        p = fb.cmp("ne", "r100", imm=0)
+        fb.br_cond(p, "loop")
+        q = fb.cmp("gt", "r105", imm=0)
+        fb.br_cond(q, "middle")
+        fb.halt()
+        prog.finalize()
+        from repro.triggers.placement import _hoisted_placement
+        func = prog.function("f")
+        cfg = CFG(func)
+        point = _hoisted_placement(func, cfg, "middle", {"r100"})
+        assert point.block == "entry"
+        assert func.block("entry").instrs[point.index - 1].dest == "r100"
+
+
+class TestMinCut:
+    def make_cfg(self):
+        prog = Program()
+        fb = FunctionBuilder(prog.add_function("f"))
+        p = fb.cmp("eq", fb.mov_imm(1), imm=1)
+        fb.br_cond(p, "hot")
+        fb.label("cold")
+        fb.mov_imm(2)
+        fb.br("join")
+        fb.label("hot")
+        fb.mov_imm(3)
+        fb.label("join")
+        fb.load(fb.mov_imm(0x2000))
+        fb.halt()
+        return CFG(prog.function("f"))
+
+    def test_edge_frequencies_split_block_counts(self):
+        cfg = self.make_cfg()
+        freqs = edge_frequencies(cfg, {"entry": 100, "hot": 99,
+                                       "cold": 1, "join": 100})
+        assert freqs[("entry", "hot")] == pytest.approx(50.0)
+        assert freqs[("hot", "join")] == pytest.approx(99.0)
+
+    def test_min_cut_separates_entry_from_target(self):
+        cfg = self.make_cfg()
+        cut = optimal_trigger_cut(
+            cfg, {"entry": 100, "hot": 99, "cold": 100, "join": 199},
+            "join")
+        assert cut  # a cut exists
+        # Removing the cut edges must disconnect entry from join.
+        import networkx as nx
+        g = nx.DiGraph()
+        for src, dst in cfg.edges():
+            if dst != "<exit>" and (src, dst) not in cut:
+                g.add_edge(src, dst)
+        assert not (g.has_node("entry") and g.has_node("join")
+                    and nx.has_path(g, "entry", "join"))
+
+    def test_unreachable_target_gives_empty_cut(self):
+        cfg = self.make_cfg()
+        assert optimal_trigger_cut(cfg, {}, "nowhere") == []
+
+
+class TestLiveInLayout:
+    def test_roundtrip_codegen(self):
+        layout = LiveInLayout(["r100", "r101"])
+        ins = layout.copy_in_code()
+        outs = layout.copy_out_code()
+        assert [i.op for i in ins] == ["lib.st", "lib.st"]
+        assert [i.op for i in outs] == ["lib.ld", "lib.ld"]
+        assert outs[0].dest == "r100" and outs[0].imm == 0
+        assert ins[1].srcs == ("r101",) and ins[1].imm == 1
+
+    def test_too_many_live_ins_rejected(self):
+        with pytest.raises(ValueError):
+            LiveInLayout([f"r{i}" for i in range(LIB_SLOTS + 1)])
+
+
+class TestEmitter:
+    def adapted(self):
+        prog, heap, out, cfgs, rs, rg = mcf_setup()
+        sched = ChainingScheduler().schedule(rs)
+        points = place_triggers(prog, sched, cfgs)
+        emitter = SSPEmitter(prog)
+        record = emitter.add_slice(sched, points)
+        return prog, heap, out, emitter.finalize(), record
+
+    def test_figure7_layout(self):
+        prog, _, _, adapted, record = self.adapted()
+        func = adapted.program.function("main")
+        assert func.has_block(record.stub_label)
+        assert func.has_block(record.slice_label)
+        stub_ops = [i.op for i in func.block(record.stub_label).instrs]
+        assert stub_ops[-2:] == ["spawn", "rfi"]
+        assert all(op == "lib.st" for op in stub_ops[:-2])
+        slice_ops = [i.op for i in func.block(record.slice_label).instrs]
+        assert slice_ops[-1] == "kill" or "kill" in slice_ops
+
+    def test_trigger_replaces_nop(self):
+        prog, _, _, adapted, record = self.adapted()
+        # The original mcf-like kernel has no nop at the trigger point, so
+        # the chk.c is inserted; build one with a nop to check replacement.
+        from repro.workloads import make_workload
+        w = make_workload("mcf", "tiny")
+        wprog = w.build_program()
+        n_before = sum(1 for i in wprog.instructions() if i.op == "nop")
+        from repro.profiling import collect_profile
+        from repro.tool import SSPPostPassTool
+        profile = collect_profile(wprog, w.build_heap)
+        result = SSPPostPassTool().adapt(wprog, profile)
+        n_after = sum(1 for i in result.program.instructions()
+                      if i.op == "nop")
+        n_chk = sum(1 for i in result.program.instructions()
+                    if i.op == "chk.c")
+        assert n_chk >= 1
+        assert n_after < n_before  # a nop was consumed
+
+    def test_original_program_untouched(self):
+        prog, _, _, adapted, record = self.adapted()
+        assert all(i.op != "chk.c" for i in prog.instructions())
+        assert not prog.function("main").has_block(record.slice_label)
+
+    def test_main_instruction_uids_preserved(self):
+        prog, _, _, adapted, record = self.adapted()
+        original = {i.uid for i in prog.instructions()}
+        cloned = {i.uid for i in adapted.program.instructions()}
+        assert original <= cloned
+
+    def test_slice_has_no_stores(self):
+        prog, _, _, adapted, record = self.adapted()
+        func = adapted.program.function("main")
+        for label in (record.slice_label,):
+            for instr in func.block(label).instrs:
+                assert not instr.is_store
+
+    def test_delinquent_load_converted_to_prefetch(self):
+        prog, _, _, adapted, record = self.adapted()
+        func = adapted.program.function("main")
+        ops = [i.op for i in func.block(record.slice_label).instrs]
+        assert "lfetch" in ops
+
+    def test_adapted_binary_correct_and_faster(self):
+        from repro.sim import simulate
+        prog, heap, out, adapted, record = self.adapted()
+        base = simulate(prog, heap, "inorder", spawning=False)
+        expected = heap.load(out)
+        prog2, heap2, out2 = mcf_like_workload(narcs=40, nnodes=12)
+        ssp = simulate(adapted.program, heap2, "inorder")
+        assert heap2.load(out2) == expected
+        assert ssp.cycles < base.cycles
+
+    def test_speculative_callee_clone_is_store_free(self):
+        prog = Program(entry="main")
+        callee = FunctionBuilder(prog.add_function("writer", num_params=1))
+        (x,) = callee.params(1)
+        callee.store(x, "r0")
+        callee.ret(callee.load(x, 8))
+        m = FunctionBuilder(prog.add_function("main"))
+        m.halt()
+        prog.finalize()
+        emitter = SSPEmitter(prog)
+        clone_name = emitter._speculative_clone("writer")
+        clone = emitter.program.function(clone_name)
+        assert all(not i.is_store for i in clone.instructions())
+        assert any(i.op == "ld" for i in clone.instructions())
