@@ -5,11 +5,19 @@ Each ``test_*`` module regenerates one table or figure of the paper.  The
 (exactly as the experiments package does); benchmark timings therefore
 measure the *incremental* cost of each experiment on a warm context, while
 the asserted values check the reproduction's shape.
+
+The context routes simulations through :mod:`repro.runner` with the
+on-disk result cache disabled — timings must measure simulation, not
+cache reads.  Set ``BENCH_JOBS=N`` to fan each experiment's batch out
+over N worker processes (timings then measure the parallel harness).
 """
+
+import os
 
 import pytest
 
 from repro.experiments import ExperimentContext
+from repro.runner import Runner
 
 #: Scale used across the harness; tiny keeps the full suite to ~a minute.
 BENCH_SCALE = "tiny"
@@ -17,4 +25,6 @@ BENCH_SCALE = "tiny"
 
 @pytest.fixture(scope="session")
 def context():
-    return ExperimentContext(BENCH_SCALE)
+    jobs = int(os.environ.get("BENCH_JOBS", "1"))
+    return ExperimentContext(BENCH_SCALE, runner=Runner(jobs=jobs,
+                                                        cache=None))

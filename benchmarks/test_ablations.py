@@ -13,13 +13,16 @@ import pytest
 from conftest import BENCH_SCALE
 
 from repro.experiments import ExperimentContext
+from repro.runner import Runner
 from repro.sim import inorder_config, simulate
 from repro.tool import SSPPostPassTool, ToolOptions
 
 
 @pytest.fixture(scope="module")
 def mcf_run():
-    context = ExperimentContext(BENCH_SCALE)
+    # Cache disabled for the same reason as the session context fixture:
+    # ablation timings must measure simulation, not cache reads.
+    context = ExperimentContext(BENCH_SCALE, runner=Runner(cache=None))
     return context.run("mcf")
 
 

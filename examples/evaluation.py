@@ -13,6 +13,7 @@ import argparse
 import time
 
 from repro.experiments import ExperimentContext, run_all
+from repro.runner import ResultCache, Runner
 
 
 def main() -> None:
@@ -22,10 +23,16 @@ def main() -> None:
     parser.add_argument("--charts", action="store_true",
                         help="also render ASCII bar charts of Figures "
                              "2 and 8")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="simulate on N worker processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the .repro-cache/ result cache")
     args = parser.parse_args()
 
     start = time.time()
-    context = ExperimentContext(args.scale)
+    cache = None if args.no_cache else ResultCache.from_environment()
+    runner = Runner(jobs=args.jobs, cache=cache)
+    context = ExperimentContext(args.scale, runner=runner)
     results = run_all(scale=args.scale, context=context)
     for result in results.values():
         print()
@@ -35,7 +42,8 @@ def main() -> None:
         for name in ("figure2", "figure8"):
             print()
             print(render_bars(results[name]))
-    print(f"\ntotal wall time: {time.time() - start:.1f}s "
+    print(f"\n[runner] {runner.telemetry.summary()}")
+    print(f"total wall time: {time.time() - start:.1f}s "
           f"(scale={args.scale})")
 
 

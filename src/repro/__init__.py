@@ -16,10 +16,13 @@ Subpackages: ``repro.isa`` (the Itanium-like ISA), ``repro.sim`` (the SMT
 timing simulator), ``repro.profiling``, ``repro.analysis``,
 ``repro.slicing``, ``repro.scheduling``, ``repro.triggers``,
 ``repro.codegen``, ``repro.tool`` (the post-pass tool), ``repro.workloads``
-(the seven benchmarks) and ``repro.experiments`` (the paper's evaluation).
+(the seven benchmarks), ``repro.runner`` (parallel run orchestration with
+a content-addressed result cache) and ``repro.experiments`` (the paper's
+evaluation).
 """
 
 from .profiling import collect_profile
+from .runner import ResultCache, Runner, RunSpec
 from .sim import inorder_config, ooo_config, simulate
 from .tool import SSPPostPassTool, ToolOptions
 from .workloads import PAPER_ORDER, make_workload, workload_names
@@ -33,6 +36,7 @@ PAPER = ("Liao, Wang, Wang, Hoflehner, Lavery, Shen: Post-Pass Binary "
 
 __all__ = [
     "collect_profile",
+    "ResultCache", "Runner", "RunSpec",
     "inorder_config", "ooo_config", "simulate",
     "SSPPostPassTool", "ToolOptions",
     "PAPER_ORDER", "make_workload", "workload_names",

@@ -2,58 +2,68 @@
 
 Running the paper's evaluation means simulating every benchmark under many
 configurations (baseline/SSP × in-order/OOO × perfect-memory variants).
-:class:`ExperimentContext` memoises everything per (workload, scale):
-profile, tool adaptation, and each simulation run — so Figure 8, Figure 9
-and Figure 10 share the same underlying runs instead of re-simulating.
+All simulations route through :mod:`repro.runner`: each (workload, scale,
+model, variant) pair becomes a content-addressed
+:class:`~repro.runner.spec.RunSpec`, executed by the context's
+:class:`~repro.runner.executor.Runner` — which consults the on-disk result
+cache first, can fan a warmed batch out over worker processes, and records
+telemetry.  On top of that, :class:`WorkloadRun` keeps the historical
+in-memory memo so repeated queries within one context return the same
+:class:`~repro.sim.stats.SimStats` object.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..isa.program import Program
-from ..profiling.collect import collect_profile
 from ..profiling.profile import ProgramProfile
-from ..sim.config import MachineConfig, inorder_config, ooo_config
-from ..sim.machine import simulate
+from ..runner import Runner, RunSpec, artifacts_for
+from ..runner.spec import VARIANTS  # noqa: F401  (historical re-export)
 from ..sim.stats import SimStats
-from ..tool.postpass import SSPPostPassTool, ToolOptions, ToolResult
+from ..tool.postpass import ToolOptions, ToolResult
 from ..workloads import PAPER_ORDER, make_workload
 
-#: Simulation variants understood by :meth:`WorkloadRun.stats`.
-VARIANTS = ("base", "ssp", "perfect_mem", "perfect_dloads", "hand")
+#: (model, variant) pairs covering the full evaluation grid (the ``hand``
+#: variant exists only for mcf/health and is warmed separately).
+ALL_PAIRS: Tuple[Tuple[str, str], ...] = tuple(
+    (model, variant)
+    for model in ("inorder", "ooo")
+    for variant in ("base", "ssp", "perfect_mem", "perfect_dloads"))
 
 
 class WorkloadRun:
-    """All artifacts for one benchmark at one scale, lazily built."""
+    """All artifacts for one benchmark at one scale, lazily built.
+
+    Build products (program, profile, tool adaptation) come from the
+    runner's per-process artifact memo, so in-process simulation shares
+    them with this object instead of building twice.
+    """
 
     def __init__(self, name: str, scale: str,
-                 tool_options: Optional[ToolOptions] = None):
+                 tool_options: Optional[ToolOptions] = None,
+                 runner: Optional[Runner] = None):
         self.name = name
         self.scale = scale
-        self.workload = make_workload(name, scale)
-        self.program: Program = self.workload.build_program()
         self.tool_options = tool_options
-        self._profile: Optional[ProgramProfile] = None
-        self._tool_result: Optional[ToolResult] = None
-        self._hand_program: Optional[Program] = None
+        self.runner = runner or Runner()
+        self._artifacts = artifacts_for(self.spec("inorder", "base"))
+        self.workload = self._artifacts.workload
         self._stats: Dict[Tuple[str, str], SimStats] = {}
 
     # -- artifacts -----------------------------------------------------------------
 
     @property
+    def program(self) -> Program:
+        return self._artifacts.program
+
+    @property
     def profile(self) -> ProgramProfile:
-        if self._profile is None:
-            self._profile = collect_profile(self.program,
-                                            self.workload.build_heap)
-        return self._profile
+        return self._artifacts.profile
 
     @property
     def tool_result(self) -> ToolResult:
-        if self._tool_result is None:
-            tool = SSPPostPassTool(self.tool_options)
-            self._tool_result = tool.adapt(self.program, self.profile)
-        return self._tool_result
+        return self._artifacts.tool_result
 
     @property
     def adapted_program(self) -> Program:
@@ -66,43 +76,24 @@ class WorkloadRun:
     @property
     def hand_program(self) -> Program:
         """The hand-adapted binary (mcf and health only, Section 4.5)."""
-        if self._hand_program is None:
-            hand = make_workload(self.name + ".hand", self.scale)
-            self._hand_program = hand.build_program()
-            self._hand_workload = hand
-        return self._hand_program
+        return self._artifacts.hand_workload.build_program()
 
     # -- simulation ------------------------------------------------------------------
 
-    def _config(self, model: str, variant: str) -> MachineConfig:
-        config = inorder_config() if model == "inorder" else ooo_config()
-        if variant == "perfect_mem":
-            config = config.with_perfect_memory()
-        elif variant == "perfect_dloads":
-            config = config.with_perfect_loads(self.delinquent_uids)
-        return config
+    def spec(self, model: str, variant: str = "base") -> RunSpec:
+        """The declarative run spec for one (model, variant) pair."""
+        return RunSpec.create(self.name, scale=self.scale, model=model,
+                              variant=variant,
+                              tool_options=self.tool_options)
 
     def stats(self, model: str, variant: str = "base") -> SimStats:
         """Memoised simulation of one (model, variant) configuration."""
         key = (model, variant)
         if key in self._stats:
+            self.runner.telemetry.record_memo_hit(
+                f"{self.name}/{self.scale}/{model}/{variant}")
             return self._stats[key]
-        if variant not in VARIANTS:
-            raise ValueError(f"unknown variant {variant!r}")
-        if variant == "ssp":
-            program, spawning = self.adapted_program, True
-            heap = self.workload.build_heap()
-        elif variant == "hand":
-            program, spawning = self.hand_program, True
-            heap = self._hand_workload.build_heap()
-        else:
-            program, spawning = self.program, False
-            heap = self.workload.build_heap()
-        result = simulate(program, heap, model,
-                          config=self._config(model, variant),
-                          spawning=spawning)
-        if variant in ("base", "ssp"):
-            self.workload.check_output(heap)
+        result = self.runner.stats(self.spec(model, variant))
         self._stats[key] = result
         return result
 
@@ -116,22 +107,63 @@ class WorkloadRun:
 
 
 class ExperimentContext:
-    """Memoised workload runs shared across experiment harnesses."""
+    """Memoised workload runs shared across experiment harnesses.
+
+    The optional ``runner`` is shared by every :class:`WorkloadRun`; give
+    it ``jobs > 1`` (or pass ``jobs=`` here) to execute each experiment's
+    warmed batch of simulations in parallel worker processes.
+    """
 
     def __init__(self, scale: str = "small",
-                 tool_options: Optional[ToolOptions] = None):
+                 tool_options: Optional[ToolOptions] = None,
+                 runner: Optional[Runner] = None,
+                 jobs: Optional[int] = None):
         self.scale = scale
         self.tool_options = tool_options
+        self.runner = runner or Runner(jobs=jobs or 1)
         self._runs: Dict[str, WorkloadRun] = {}
+
+    @property
+    def telemetry(self):
+        return self.runner.telemetry
 
     def run(self, name: str) -> WorkloadRun:
         if name not in self._runs:
             self._runs[name] = WorkloadRun(name, self.scale,
-                                           self.tool_options)
+                                           self.tool_options,
+                                           runner=self.runner)
         return self._runs[name]
 
     def runs(self, names: Optional[List[str]] = None) -> List[WorkloadRun]:
         return [self.run(n) for n in (names or PAPER_ORDER)]
+
+    def warm(self, names: Optional[Iterable[str]] = None,
+             pairs: Iterable[Tuple[str, str]] = ALL_PAIRS) -> int:
+        """Execute every missing (benchmark, model, variant) run as one
+        batch through the runner.
+
+        Experiments call this with exactly the grid they query, so a
+        multi-job runner overlaps the simulations instead of discovering
+        them one ``stats()`` call at a time.  Returns the number of runs
+        that were actually dispatched (cache hits included, memo hits
+        not).  Failed runs are left unmemoised; the eventual ``stats()``
+        query surfaces the error.
+        """
+        pairs = list(pairs)
+        requests = []
+        for name in names or PAPER_ORDER:
+            wr = self.run(name)
+            for model, variant in pairs:
+                if (model, variant) not in wr._stats:
+                    requests.append((wr, (model, variant)))
+        if not requests:
+            return 0
+        results = self.runner.run(
+            [wr.spec(model, variant) for wr, (model, variant) in requests])
+        for (wr, key), result in zip(requests, results):
+            if result.ok:
+                wr._stats[key] = result.stats
+        return len(requests)
 
 
 class ExperimentResult:

@@ -29,6 +29,8 @@ CONFIGS = (("inorder", "base", "io"), ("inorder", "ssp", "io+SSP"),
 def run(context: Optional[ExperimentContext] = None, scale: str = "small",
         benchmarks: Optional[List[str]] = None) -> ExperimentResult:
     context = context or ExperimentContext(scale)
+    context.warm(benchmarks or PAPER_FIGURE10,
+                 [(model, variant) for model, variant, _ in CONFIGS])
     rows = []
     for name in benchmarks or PAPER_FIGURE10:
         wr = context.run(name)

@@ -22,9 +22,15 @@ from ..workloads import PAPER_ORDER
 from .context import ExperimentContext, ExperimentResult
 
 
+#: The (model, variant) grid this figure reads — warmed as one batch.
+PAIRS = tuple((model, variant) for model in ("inorder", "ooo")
+              for variant in ("base", "perfect_mem", "perfect_dloads"))
+
+
 def run(context: Optional[ExperimentContext] = None, scale: str = "small",
         benchmarks: Optional[List[str]] = None) -> ExperimentResult:
     context = context or ExperimentContext(scale)
+    context.warm(benchmarks or PAPER_ORDER, PAIRS)
     rows = []
     for name in benchmarks or PAPER_ORDER:
         wr = context.run(name)

@@ -29,6 +29,8 @@ CATEGORIES = ("L2 Hit", "Partial L2 Hit", "L3 Hit", "Partial L3 Hit",
 def run(context: Optional[ExperimentContext] = None, scale: str = "small",
         benchmarks: Optional[List[str]] = None) -> ExperimentResult:
     context = context or ExperimentContext(scale)
+    context.warm(benchmarks or PAPER_ORDER,
+                 [(model, variant) for model, variant, _ in CONFIGS])
     rows = []
     for name in benchmarks or PAPER_ORDER:
         wr = context.run(name)

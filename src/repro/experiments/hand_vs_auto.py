@@ -25,6 +25,9 @@ HAND_BENCHMARKS = ["mcf", "health"]
 def run(context: Optional[ExperimentContext] = None, scale: str = "small",
         benchmarks: Optional[List[str]] = None) -> ExperimentResult:
     context = context or ExperimentContext(scale)
+    context.warm(benchmarks or HAND_BENCHMARKS,
+                 [(model, variant) for model in ("inorder", "ooo")
+                  for variant in ("base", "ssp", "hand")])
     rows = []
     for name in benchmarks or HAND_BENCHMARKS:
         wr = context.run(name)

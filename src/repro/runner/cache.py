@@ -1,0 +1,161 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Layout (default root ``.repro-cache/``, override with ``REPRO_CACHE_DIR``)::
+
+    .repro-cache/
+      <code-salt>/                 one generation per source-tree version
+        <spec-hash>.json           {"spec": ..., "stats": ..., ...}
+
+The salt is a digest of every ``repro`` source file, so any code change
+starts a fresh generation and stale results can never be served; old
+generations stay on disk until ``clear(stale_only=True)`` removes them.
+Entries store the :meth:`~repro.sim.stats.SimStats.to_dict` snapshot, which
+round-trips every statistic the experiments read.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from .spec import RunSpec
+
+#: Cache format version; bump to invalidate all generations at once.
+CACHE_FORMAT = 1
+
+#: Environment variables honoured by the default cache.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (the cache's version salt).
+
+    Hashes file contents, not mtimes, so rebuilding an identical tree
+    keeps the cache warm while any real source edit invalidates it.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256(f"format:{CACHE_FORMAT}".encode())
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root).as_posix()
+        digest.update(rel.encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+class ResultCache:
+    """Maps :class:`RunSpec` content hashes to serialised ``SimStats``."""
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 salt: Optional[str] = None):
+        if root is None:
+            root = os.environ.get(ENV_CACHE_DIR, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.salt = salt if salt is not None else code_version()
+        self.generation_dir = self.root / self.salt
+
+    @classmethod
+    def from_environment(cls) -> Optional["ResultCache"]:
+        """The default cache, or None when ``REPRO_NO_CACHE`` is set."""
+        if os.environ.get(ENV_NO_CACHE):
+            return None
+        return cls()
+
+    def _path(self, spec: RunSpec) -> Path:
+        return self.generation_dir / f"{spec.content_hash()}.json"
+
+    # -- lookup / store --------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[Dict]:
+        """The stored entry for ``spec`` (current generation), or None.
+
+        Corrupt entries (interrupted writes, manual edits) are dropped and
+        treated as misses rather than propagated.
+        """
+        path = self._path(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or "stats" not in entry:
+            return None
+        return entry
+
+    def put(self, spec: RunSpec, stats_dict: Dict,
+            wall_time: float = 0.0) -> Path:
+        """Store a result atomically (write-to-temp then rename)."""
+        path = self._path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": CACHE_FORMAT,
+            "code_version": self.salt,
+            "created": time.time(),
+            "wall_time": wall_time,
+            "spec": spec.key(),
+            "stats": stats_dict,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def _generations(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.iterdir() if p.is_dir())
+
+    def stats(self) -> Dict:
+        """Occupancy summary for the ``cache stats`` CLI subcommand."""
+        generations = []
+        total_entries = total_bytes = 0
+        for gen in self._generations():
+            entries = list(gen.glob("*.json"))
+            size = sum(p.stat().st_size for p in entries)
+            generations.append({
+                "salt": gen.name,
+                "current": gen.name == self.salt,
+                "entries": len(entries),
+                "bytes": size,
+            })
+            total_entries += len(entries)
+            total_bytes += size
+        return {
+            "root": str(self.root),
+            "current_salt": self.salt,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "generations": generations,
+        }
+
+    def clear(self, stale_only: bool = False) -> int:
+        """Delete cached entries; returns how many files were removed.
+
+        With ``stale_only``, only generations whose salt differs from the
+        current source tree are removed.
+        """
+        removed = 0
+        for gen in self._generations():
+            if stale_only and gen.name == self.salt:
+                continue
+            for path in gen.glob("*.json"):
+                path.unlink()
+                removed += 1
+            try:
+                gen.rmdir()
+            except OSError:  # pragma: no cover - non-cache files present
+                pass
+        return removed

@@ -1,0 +1,106 @@
+"""Progress and outcome accounting for runner executions.
+
+One :class:`RunnerTelemetry` instance accumulates across every
+``Runner.run`` call that shares it, so an experiment harness can report a
+whole session: how many simulations were launched vs. served from cache,
+the cache hit rate, retries, failures, and wall time both simulated and
+saved.  ``progress`` hooks let a CLI print per-run lines as they land.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class RunnerTelemetry:
+    """Counters + per-run records for a sequence of runner executions."""
+
+    def __init__(self,
+                 progress: Optional[Callable[[str], None]] = None):
+        #: Optional callback receiving one human-readable line per event.
+        self.progress = progress
+        self.launched = 0          # simulations actually executed
+        self.cache_hits = 0        # results served from the on-disk cache
+        self.memo_hits = 0         # results served from in-memory memos
+        self.failures = 0          # runs that exhausted their retries
+        self.retries = 0           # extra attempts after a failed one
+        self.sim_wall_time = 0.0   # seconds spent inside simulations
+        self.saved_wall_time = 0.0  # recorded cost of runs served cached
+        self.records: List[Dict] = []
+
+    # -- event sinks -----------------------------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)
+
+    def record_launch(self, label: str) -> None:
+        self.launched += 1
+        self._emit(f"run  {label}")
+
+    def record_complete(self, label: str, wall_time: float,
+                        attempts: int, spec_hash: str) -> None:
+        self.sim_wall_time += wall_time
+        if attempts > 1:
+            self.retries += attempts - 1
+        self.records.append({"spec": spec_hash, "label": label,
+                             "cached": False, "wall_time": wall_time,
+                             "attempts": attempts})
+        self._emit(f"done {label} ({wall_time:.2f}s"
+                   + (f", attempt {attempts}" if attempts > 1 else "")
+                   + ")")
+
+    def record_cache_hit(self, label: str, saved_wall_time: float,
+                         spec_hash: str) -> None:
+        self.cache_hits += 1
+        self.saved_wall_time += saved_wall_time
+        self.records.append({"spec": spec_hash, "label": label,
+                             "cached": True,
+                             "wall_time": saved_wall_time, "attempts": 0})
+        self._emit(f"hit  {label} (saved {saved_wall_time:.2f}s)")
+
+    def record_memo_hit(self, label: str) -> None:
+        self.memo_hits += 1
+
+    def record_failure(self, label: str, error: str,
+                       attempts: int) -> None:
+        self.failures += 1
+        if attempts > 1:
+            self.retries += attempts - 1
+        self._emit(f"FAIL {label} after {attempts} attempt(s): {error}")
+
+    # -- reporting -------------------------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        return self.launched + self.cache_hits + self.failures
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.total_requests
+        return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict:
+        return {
+            "launched": self.launched,
+            "cache_hits": self.cache_hits,
+            "memo_hits": self.memo_hits,
+            "failures": self.failures,
+            "retries": self.retries,
+            "hit_rate": self.hit_rate,
+            "sim_wall_time": self.sim_wall_time,
+            "saved_wall_time": self.saved_wall_time,
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"runs: {self.launched} simulated, {self.cache_hits} cached "
+            f"({100 * self.hit_rate:.0f}% hit rate)",
+            f"sim wall time: {self.sim_wall_time:.2f}s "
+            f"(saved {self.saved_wall_time:.2f}s)",
+        ]
+        if self.retries:
+            parts.append(f"retries: {self.retries}")
+        if self.failures:
+            parts.append(f"FAILURES: {self.failures}")
+        return "; ".join(parts)

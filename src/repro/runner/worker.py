@@ -1,0 +1,145 @@
+"""Spec execution: build artifacts, simulate, serialise the result.
+
+:func:`execute_spec` is the unit of work the runner schedules.  It is a
+module-level function of one picklable argument so it can cross a
+``ProcessPoolExecutor`` boundary, and it rebuilds everything it needs from
+the spec alone — which is what makes parallel execution (and cache misses
+in a fresh process) self-contained.
+
+Expensive intermediate artifacts (profile, tool adaptation, hand binary)
+are memoised per process and per (workload, scale, tool options), so the
+many specs of one experiment share one profiling run and one adaptation
+within each worker.  Under the default ``fork`` start method the pool's
+workers even inherit artifacts already built by the parent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..profiling.collect import collect_profile
+from ..profiling.profile import ProgramProfile
+from ..sim.config import MachineConfig
+from ..sim.machine import make_config, simulate
+from ..tool.postpass import SSPPostPassTool, ToolOptions, ToolResult
+from ..workloads import make_workload
+from .spec import RunSpec
+
+#: Variants whose run must leave the workload's expected output in the
+#: heap (the ``perfect_*`` ablations alter memory behaviour, not results,
+#: but are excluded to mirror the historical experiment harness).
+_CHECKED_VARIANTS = ("base", "ssp")
+
+
+class WorkloadArtifacts:
+    """Lazily-built products for one (workload, scale, tool options)."""
+
+    def __init__(self, name: str, scale: str,
+                 tool_options: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.scale = scale
+        self.tool_options = (ToolOptions(**tool_options)
+                             if tool_options else None)
+        self.workload = make_workload(name, scale)
+        self.program = self.workload.build_program()
+        self._profile: Optional[ProgramProfile] = None
+        self._tool_result: Optional[ToolResult] = None
+        self._hand_workload = None
+
+    @property
+    def profile(self) -> ProgramProfile:
+        if self._profile is None:
+            self._profile = collect_profile(self.program,
+                                            self.workload.build_heap)
+        return self._profile
+
+    @property
+    def tool_result(self) -> ToolResult:
+        if self._tool_result is None:
+            tool = SSPPostPassTool(self.tool_options)
+            self._tool_result = tool.adapt(self.program, self.profile)
+        return self._tool_result
+
+    @property
+    def delinquent_uids(self):
+        return self.tool_result.delinquent_uids
+
+    @property
+    def hand_workload(self):
+        if self._hand_workload is None:
+            self._hand_workload = make_workload(self.name + ".hand",
+                                                self.scale)
+        return self._hand_workload
+
+    # -- per-variant run inputs ------------------------------------------------------
+
+    def run_inputs(self, variant: str):
+        """(program, heap-building workload) for one variant."""
+        if variant == "ssp":
+            return self.tool_result.program, self.workload
+        if variant == "hand":
+            return self.hand_workload.build_program(), self.hand_workload
+        return self.program, self.workload
+
+
+#: Per-process artifact memo: (workload, scale, frozen options) -> built.
+_ARTIFACTS: Dict[Tuple, WorkloadArtifacts] = {}
+
+
+def artifacts_for(spec: RunSpec) -> WorkloadArtifacts:
+    key = (spec.workload, spec.scale, spec.tool_options)
+    artifacts = _ARTIFACTS.get(key)
+    if artifacts is None:
+        artifacts = _ARTIFACTS[key] = WorkloadArtifacts(
+            spec.workload, spec.scale, spec.tool_options_dict())
+    return artifacts
+
+
+def clear_artifact_cache() -> None:
+    """Drop memoised artifacts (tests; long-lived worker hygiene)."""
+    _ARTIFACTS.clear()
+
+
+def config_for(spec: RunSpec,
+               artifacts: Optional[WorkloadArtifacts] = None
+               ) -> MachineConfig:
+    """The machine configuration a spec resolves to."""
+    config = make_config(spec.model)
+    if spec.variant == "perfect_mem":
+        config = config.with_perfect_memory()
+    elif spec.variant == "perfect_dloads":
+        artifacts = artifacts or artifacts_for(spec)
+        config = config.with_perfect_loads(artifacts.delinquent_uids)
+    if spec.config_overrides:
+        overrides = {}
+        for key, value in spec.config_overrides:
+            if key == "perfect_load_uids":
+                value = frozenset(value)
+            overrides[key] = value
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Run one spec to completion; returns ``{"stats": ..., "wall_time"}``.
+
+    The stats value is the JSON-safe :meth:`SimStats.to_dict` form (not the
+    object) so the same payload crosses process boundaries and lands in
+    the result cache without re-serialisation.
+    """
+    started = time.perf_counter()
+    artifacts = artifacts_for(spec)
+    program, heap_workload = artifacts.run_inputs(spec.variant)
+    heap = heap_workload.build_heap()
+    stats = simulate(program, heap, spec.model,
+                     config=config_for(spec, artifacts),
+                     spawning=spec.effective_spawning,
+                     max_cycles=spec.max_cycles)
+    if spec.variant in _CHECKED_VARIANTS:
+        heap_workload.check_output(heap)
+    return {
+        "stats": stats.to_dict(),
+        "wall_time": time.perf_counter() - started,
+    }

@@ -17,16 +17,28 @@ from .inorder import InOrderSimulator
 from .ooo import OOOSimulator
 from .stats import SimStats
 
-MODELS = ("inorder", "ooo")
+#: model name -> (default-config factory, simulator class).  The single
+#: source of truth for model validation: both :func:`make_config` and
+#: :func:`simulate` resolve names here, so a bad model raises immediately
+#: even when the caller supplies a custom ``config``.
+MODELS = {
+    "inorder": (inorder_config, InOrderSimulator),
+    "ooo": (ooo_config, OOOSimulator),
+}
+
+
+def _lookup(model: str):
+    try:
+        return MODELS[model]
+    except KeyError:
+        raise ValueError(f"unknown model {model!r}; expected one of "
+                         f"{tuple(MODELS)}") from None
 
 
 def make_config(model: str) -> MachineConfig:
     """Default configuration for a model name."""
-    if model == "inorder":
-        return inorder_config()
-    if model == "ooo":
-        return ooo_config()
-    raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
+    config_factory, _ = _lookup(model)
+    return config_factory()
 
 
 def simulate(program: Program, heap: Heap, model: str = "inorder",
@@ -44,12 +56,8 @@ def simulate(program: Program, heap: Heap, model: str = "inorder",
             runs of un-adapted binaries and for baselines).
         max_cycles: runaway guard.
     """
+    config_factory, sim_cls = _lookup(model)
     if config is None:
-        config = make_config(model)
-    if model == "inorder":
-        sim = InOrderSimulator(program, heap, config, spawning, max_cycles)
-    elif model == "ooo":
-        sim = OOOSimulator(program, heap, config, spawning, max_cycles)
-    else:
-        raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
+        config = config_factory()
+    sim = sim_cls(program, heap, config, spawning, max_cycles)
     return sim.run()

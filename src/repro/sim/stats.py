@@ -22,9 +22,20 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from .caches import L1, L2, L3, MEM, MemorySystem
+from .caches import L1, L2, L3, MEM, LoadStats, MemorySystem
 
 CYCLE_CATEGORIES = ("L3", "L2", "L1", "CacheExec", "Exec", "Other")
+
+#: Scalar counters serialised verbatim by :meth:`SimStats.to_dict`.
+_SCALAR_FIELDS = (
+    "cycles", "main_instructions", "spec_instructions",
+    "chk_fired", "chk_ignored", "spawns", "spawn_failures", "spawn_waits",
+    "threads_completed", "mispredicts",
+)
+
+#: Memory-system counters carried through serialisation (cache/TLB *state*
+#: is not — a deserialised run can report statistics but not be resumed).
+_MEMORY_FIELDS = ("tlb_misses", "prefetches_issued", "prefetches_dropped")
 
 #: Stall category charged when waiting on data supplied by a given level
 #: (the level it *missed* in is one closer to the core).
@@ -109,6 +120,66 @@ class SimStats:
                         key=lambda kv: kv[1].miss_cycles, reverse=True)
         uids = [uid for uid, s in ranked if s.miss_cycles > 0]
         return uids[:limit] if limit is not None else uids
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot of every reported statistic.
+
+        The snapshot carries the per-static-load counters, so the Figure 9
+        (:meth:`delinquent_breakdown`) and Figure 10 (:attr:`cycle_breakdown`)
+        queries all work on a :meth:`from_dict` reconstruction; live cache
+        contents are deliberately dropped.
+        """
+        out: Dict = {"format": 1}
+        for name in _SCALAR_FIELDS:
+            out[name] = getattr(self, name)
+        out["cycle_breakdown"] = dict(self.cycle_breakdown)
+        mem = self.memory
+        out["memory"] = {
+            "load_stats": {
+                str(uid): {
+                    "accesses": ls.accesses,
+                    "hits": dict(ls.hits),
+                    "partials": dict(ls.partials),
+                    "miss_cycles": ls.miss_cycles,
+                } for uid, ls in sorted(mem.load_stats.items())},
+            "level_counts": dict(mem.level_counts),
+            "partial_counts": dict(mem.partial_counts),
+        }
+        for name in _MEMORY_FIELDS:
+            out["memory"][name] = getattr(mem, name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimStats":
+        """Rebuild a statistics object produced by :meth:`to_dict`.
+
+        The attached memory system is a fresh (default-configured) one
+        holding only the recorded counters — enough for every reporting
+        query, not for further simulation.
+        """
+        from .config import MachineConfig
+
+        stats = cls(MemorySystem(MachineConfig()))
+        for name in _SCALAR_FIELDS:
+            setattr(stats, name, data[name])
+        stats.cycle_breakdown = {cat: data["cycle_breakdown"].get(cat, 0)
+                                 for cat in CYCLE_CATEGORIES}
+        mem_data = data["memory"]
+        mem = stats.memory
+        for uid_str, ls_data in mem_data["load_stats"].items():
+            ls = LoadStats()
+            ls.accesses = ls_data["accesses"]
+            ls.hits.update(ls_data["hits"])
+            ls.partials.update(ls_data["partials"])
+            ls.miss_cycles = ls_data["miss_cycles"]
+            mem.load_stats[int(uid_str)] = ls
+        mem.level_counts.update(mem_data["level_counts"])
+        mem.partial_counts.update(mem_data["partial_counts"])
+        for name in _MEMORY_FIELDS:
+            setattr(mem, name, mem_data[name])
+        return stats
 
     def summary(self) -> str:  # pragma: no cover - reporting convenience
         lines = [

@@ -5,7 +5,13 @@ adaptation and its effect::
 
     ssp-postpass mcf --scale small --model inorder
     ssp-postpass --list
-    ssp-postpass --experiments figure8 table2
+    ssp-postpass --experiments figure8 table2 --jobs 4
+    ssp-postpass cache stats
+    ssp-postpass cache clear [--stale]
+
+All simulations go through :mod:`repro.runner`: results are cached under
+``.repro-cache/`` (disable with ``--no-cache``) and ``--jobs N`` fans each
+experiment's simulation batch out over N worker processes.
 """
 
 from __future__ import annotations
@@ -14,24 +20,28 @@ import argparse
 import sys
 from typing import List, Optional
 
-from ..profiling.collect import collect_profile
-from ..sim.machine import simulate
-from ..workloads import PAPER_ORDER, make_workload, workload_names
-from .postpass import SSPPostPassTool
+from ..runner import ResultCache, Runner, RunSpec, artifacts_for
+from ..workloads import PAPER_ORDER, workload_names
+
+
+def _make_runner(args) -> Runner:
+    cache = None if args.no_cache else ResultCache.from_environment()
+    return Runner(jobs=args.jobs, cache=cache)
 
 
 def _adapt_and_report(name: str, scale: str, model: str,
-                      show_disassembly: bool) -> int:
-    workload = make_workload(name, scale)
-    program = workload.build_program()
+                      show_disassembly: bool, runner: Runner) -> int:
+    ssp_spec = RunSpec.create(name, scale=scale, model=model,
+                              variant="ssp")
+    artifacts = artifacts_for(ssp_spec)
     print(f"[1/4] profiling {name} ({scale}) on the baseline in-order "
           "model ...")
-    profile = collect_profile(program, workload.build_heap)
+    profile = artifacts.profile
     print(f"      baseline cycles: {profile.baseline_cycles}, "
           f"total miss cycles: {profile.total_miss_cycles()}")
 
     print("[2/4] running the post-pass tool ...")
-    result = SSPPostPassTool().adapt(program, profile)
+    result = artifacts.tool_result
     print(f"      delinquent loads: {result.delinquent_uids}")
     for decision in result.decisions:
         flag = "*" if decision.selected else " "
@@ -50,46 +60,88 @@ def _adapt_and_report(name: str, scale: str, model: str,
           f"avg live-ins={row['avg_live_ins']:.1f}")
 
     print(f"[3/4] simulating the SSP-enhanced binary ({model}) ...")
-    heap = workload.build_heap()
-    stats = simulate(result.program, heap, model)
-    workload.check_output(heap)
-    base = profile.baseline_cycles if model == "inorder" else \
-        simulate(program, workload.build_heap(), model,
-                 spawning=False).cycles
+    if model == "inorder":
+        stats = runner.stats(ssp_spec)
+        base = profile.baseline_cycles
+    else:
+        base_spec = RunSpec.create(name, scale=scale, model=model,
+                                   variant="base")
+        ssp_result, base_result = runner.run([ssp_spec, base_spec])
+        stats, base = ssp_result.stats, base_result.stats.cycles
+        if stats is None or base_result.stats is None:
+            print("      simulation failed", file=sys.stderr)
+            return 1
     print(f"      {model} baseline: {base} cycles; SSP: {stats.cycles} "
           f"cycles; speedup {base / stats.cycles:.2f}x")
     print(f"      spawns={stats.spawns} chk fired/ignored="
           f"{stats.chk_fired}/{stats.chk_ignored} "
           f"prefetches={stats.memory.prefetches_issued}")
 
-    print("[4/4] done.")
+    print(f"[4/4] done.  [runner] {runner.telemetry.summary()}")
     if show_disassembly:
         print()
         print(result.program.disassemble())
     return 0
 
 
-def _run_experiments(names: List[str], scale: str) -> int:
+def _run_experiments(names: List[str], scale: str, runner: Runner) -> int:
     from ..experiments import ALL_EXPERIMENTS, ExperimentContext
-    context = ExperimentContext(scale)
+    context = ExperimentContext(scale, runner=runner)
     for name in names:
-        runner = ALL_EXPERIMENTS.get(name)
-        if runner is None:
+        experiment = ALL_EXPERIMENTS.get(name)
+        if experiment is None:
             print(f"unknown experiment {name!r}; have "
                   f"{sorted(ALL_EXPERIMENTS)}", file=sys.stderr)
             return 2
         print()
-        print(runner(context=context, scale=scale).format())
+        print(experiment(context=context, scale=scale).format())
+    print()
+    print(f"[runner] {runner.telemetry.summary()}")
+    return 0
+
+
+def _cache_command(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ssp-postpass cache",
+        description="Inspect or clear the content-addressed result cache "
+                    "(.repro-cache/, override with REPRO_CACHE_DIR).")
+    parser.add_argument("action", choices=("stats", "clear"))
+    parser.add_argument("--stale", action="store_true",
+                        help="with clear: only remove generations from "
+                             "older source-tree versions")
+    args = parser.parse_args(argv)
+    cache = ResultCache()
+    if args.action == "stats":
+        info = cache.stats()
+        print(f"cache root:   {info['root']}")
+        print(f"current salt: {info['current_salt']}")
+        print(f"entries:      {info['entries']} "
+              f"({info['bytes'] / 1024:.1f} KiB)")
+        for gen in info["generations"]:
+            tag = " (current)" if gen["current"] else " (stale)"
+            print(f"  {gen['salt']}{tag}: {gen['entries']} entries, "
+                  f"{gen['bytes'] / 1024:.1f} KiB")
+        if not info["generations"]:
+            print("  (empty)")
+        return 0
+    removed = cache.clear(stale_only=args.stale)
+    print(f"removed {removed} cached result(s)")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:  # pragma: no cover - console entry point
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        return _cache_command(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="ssp-postpass",
         description="Post-pass binary adaptation for software-based "
                     "speculative precomputation (PLDI 2002 reproduction).")
     parser.add_argument("workload", nargs="?",
-                        help="benchmark to adapt (see --list)")
+                        help="benchmark to adapt (see --list), or the "
+                             "'cache' subcommand (stats/clear)")
     parser.add_argument("--scale", default="small",
                         choices=("tiny", "small", "default"))
     parser.add_argument("--model", default="inorder",
@@ -102,6 +154,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="run named experiments (table1, figure2, "
                              "table2, figure8, figure9, figure10, "
                              "hand_vs_auto)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="simulate batches on N worker processes "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache (neither "
+                             "read nor written)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -109,13 +167,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             marker = "*" if name in PAPER_ORDER else " "
             print(f" {marker} {name}")
         return 0
+    runner = _make_runner(args)
     if args.experiments:
-        return _run_experiments(args.experiments, args.scale)
+        return _run_experiments(args.experiments, args.scale, runner)
     if not args.workload:
         parser.print_usage()
         return 2
     return _adapt_and_report(args.workload, args.scale, args.model,
-                             args.disassemble)
+                             args.disassemble, runner)
 
 
 if __name__ == "__main__":  # pragma: no cover
