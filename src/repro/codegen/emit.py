@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..isa import registers as regs
 from ..isa.instructions import Instruction
 from ..isa.program import Function, Program
+from ..obs.tracer import Tracer, ensure_tracer
 from ..scheduling.schedule import CHAINING, ScheduledSlice
 from ..triggers.placement import TriggerPoint
 from .liveins import LiveInLayout
@@ -84,11 +85,12 @@ class EmitError(Exception):
 class SSPEmitter:
     """Generates the SSP-enhanced binary."""
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, tracer: Optional[Tracer] = None):
         #: The original binary (left untouched).
         self.original = program
         #: The adapted clone (instruction uids preserved for main code).
         self.program = program.clone()
+        self.tracer = ensure_tracer(tracer)
         self._counter = 0
         self._cloned_callees: Dict[str, str] = {}
         self.records: List[SliceRecord] = []
@@ -127,6 +129,12 @@ class SSPEmitter:
         record = SliceRecord(scheduled, stub_label, slice_label,
                              list(triggers), emitted)
         self.records.append(record)
+        self.tracer.counter("codegen.slices_emitted").add()
+        self.tracer.counter("codegen.instructions_emitted").add(emitted)
+        self.tracer.event("emit_slice", category="codegen",
+                          slice_label=slice_label, kind=scheduled.kind,
+                          emitted=emitted, triggers=len(triggers),
+                          live_ins=len(scheduled.live_ins))
         return record
 
     def finalize(self) -> AdaptedBinary:
@@ -178,6 +186,7 @@ class SSPEmitter:
             (the traversal genuinely ended)."""
             retry_label = f"{slice_label}.retry"
             done_label = f"{slice_label}.go"
+            self.tracer.counter("codegen.chase_retry_loops").add()
             append(Instruction(op="mov", dest="r59",
                                imm=self.CHASE_RETRY_BUDGET))
             retry_block = func.add_block(retry_label)
@@ -204,10 +213,17 @@ class SSPEmitter:
                     instr.pred != regs.TRUE_PREDICATE:
                 return  # predicate unavailable: prune speculatively
             clone = instr.copy()
-            if clone.op == "ld" and instr.uid in delinquents and \
-                    self._value_unused(instr, scheduled, body_uids):
-                clone = Instruction(op="lfetch", srcs=clone.srcs,
-                                    imm=clone.imm, pred=clone.pred)
+            if clone.op == "ld" and instr.uid in delinquents:
+                # Whether converted to an lfetch or kept as a real load (a
+                # chase load whose value feeds the slice), the clone's
+                # accesses prefetch for the original delinquent load.
+                if self._value_unused(instr, scheduled, body_uids):
+                    clone = Instruction(op="lfetch", srcs=clone.srcs,
+                                        imm=clone.imm, pred=clone.pred)
+                    self.tracer.counter("codegen.lfetch_conversions").add()
+                else:
+                    self.tracer.counter("codegen.chase_loads_kept").add()
+                self.program.prefetch_sources[clone.uid] = instr.uid
             if clone.op in ("br.call", "br.call.ind"):
                 clone = self._retarget_call(clone)
             if instr.uid == scheduled.kill_after_uid and \
@@ -237,8 +253,13 @@ class SSPEmitter:
 
         for reg, offset in scheduled.extra_prefetches:
             if reg in defined:
-                append(Instruction(op="lfetch", srcs=(reg,), imm=offset))
+                extra = Instruction(op="lfetch", srcs=(reg,), imm=offset)
+                self.program.prefetch_sources[extra.uid] = \
+                    scheduled.load.uid
+                append(extra)
                 emitted += 1
+                self.tracer.counter(
+                    "codegen.context_substituted_prefetches").add()
 
         append(Instruction(op="kill"))
         return emitted
@@ -270,6 +291,7 @@ class SSPEmitter:
             return self._cloned_callees[name]
         clone_name = name + SPEC_CLONE_SUFFIX
         self._cloned_callees[name] = clone_name
+        self.tracer.counter("codegen.callee_clones").add()
         source = self.program.function(name)
         clone = self.program.add_function(clone_name, source.num_params)
         for block in source.blocks:
@@ -295,8 +317,11 @@ class SSPEmitter:
                 chk = Instruction(op="chk.c", target=stub_label)
                 if nop_at is not None:
                     block.instrs[nop_at] = chk
+                    self.tracer.counter(
+                        "codegen.triggers_in_nop_slots").add()
                 else:
                     block.instrs.insert(index, chk)
+                    self.tracer.counter("codegen.triggers_inserted").add()
 
     def _nearby_nop(self, block, index: int,
                     window: int = 2) -> Optional[int]:

@@ -152,6 +152,11 @@ class Program:
     def __init__(self, entry: str = "main"):
         self.entry = entry
         self.functions: Dict[str, Function] = {}
+        #: lfetch uid -> delinquent-load uid it prefetches for, filled by
+        #: the SSP emitter; the simulators hand it to the memory system so
+        #: prefetch coverage/accuracy/timeliness can be attributed per
+        #: delinquent load.
+        self.prefetch_sources: Dict[int, int] = {}
         # Populated by finalize():
         self.code: List[Instruction] = []
         self.branch_target: Dict[int, int] = {}
@@ -262,6 +267,7 @@ class Program:
         addresses that survive adaptation).
         """
         other = Program(entry=self.entry)
+        other.prefetch_sources = dict(self.prefetch_sources)
         for name, func in self.functions.items():
             new_func = other.add_function(name, func.num_params)
             for block in func.blocks:

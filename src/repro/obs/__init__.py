@@ -1,0 +1,51 @@
+"""Unified observability layer: tracing, metrics, timeline export.
+
+Zero-overhead-when-disabled instrumentation for the whole reproduction:
+
+* :class:`~repro.obs.tracer.Tracer` — structured spans / events plus a
+  counters-and-histograms registry (:data:`~repro.obs.tracer.NULL_TRACER`
+  is the shared no-op used on disabled paths);
+* pass-level spans around every post-pass stage, recorded by
+  :class:`~repro.tool.postpass.SSPPostPassTool`;
+* per-delinquent-load prefetch coverage / accuracy / timeliness from the
+  simulator (:meth:`repro.sim.stats.SimStats.prefetch_metrics`);
+* exporters — JSONL event log and Chrome trace-event JSON loadable in
+  Perfetto, with simulator thread tracks derived from
+  :class:`~repro.sim.trace.ContextTrace`;
+* a metrics-document collector and the ``repro report`` renderer.
+"""
+
+from .tracer import (
+    Counter,
+    Histogram,
+    NullTracer,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    ensure_tracer,
+)
+from .export import (
+    JSONL_SCHEMA,
+    SIM_PID,
+    TOOL_PID,
+    chrome_trace_events,
+    jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import (
+    METRICS_SCHEMA,
+    collect_metrics,
+    delinquent_rows,
+    slice_rows,
+)
+from .report import render_report
+
+__all__ = [
+    "Counter", "Histogram", "NullTracer", "NULL_TRACER", "Span", "Tracer",
+    "ensure_tracer",
+    "JSONL_SCHEMA", "SIM_PID", "TOOL_PID", "chrome_trace_events",
+    "jsonl_records", "write_chrome_trace", "write_jsonl",
+    "METRICS_SCHEMA", "collect_metrics", "delinquent_rows", "slice_rows",
+    "render_report",
+]

@@ -1,0 +1,122 @@
+"""Human-readable rendering of a metrics document (``repro report``).
+
+Turns the dict produced by :func:`repro.obs.metrics.collect_metrics` into
+the per-workload observability report: pass spans with wall times and key
+metrics, the Table 2 slice rows, and per-delinquent-load prefetch
+coverage / accuracy / timeliness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def _fmt_metric(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    table = [headers] + rows
+    widths = [max(len(row[i]) for row in table)
+              for i in range(len(headers))]
+    lines = ["  ".join(cell.ljust(widths[i])
+                       for i, cell in enumerate(table[0]))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return lines
+
+
+def render_report(metrics: Dict[str, Any]) -> str:
+    """The observability report for one metrics document."""
+    lines: List[str] = []
+    title = (f"observability report: {metrics.get('workload', '?')} "
+             f"({metrics.get('scale', '?')}, {metrics.get('model', '?')})")
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    profile = metrics.get("profile")
+    if profile:
+        lines.append(f"baseline cycles: {profile['baseline_cycles']}  "
+                     f"total miss cycles: {profile['total_miss_cycles']}")
+
+    passes = metrics.get("passes")
+    if passes:
+        lines.append("")
+        lines.append("pipeline passes")
+        rows = []
+        for entry in passes:
+            detail = "  ".join(
+                f"{key}={_fmt_metric(value)}"
+                for key, value in sorted(entry.get("metrics", {}).items()))
+            rows.append([entry["name"],
+                         f"{entry['wall_time'] * 1e3:8.2f}ms", detail])
+        lines.extend(_table(["pass", "wall", "metrics"], rows))
+
+    slices = metrics.get("slices")
+    if slices:
+        lines.append("")
+        lines.append("emitted slices (Table 2 material)")
+        rows = [[
+            s["slice_label"], s["kind"],
+            "yes" if s["interprocedural"] else "no",
+            str(s["size"]), str(s["live_ins"]),
+            f"{s['slack_per_iteration']:.1f}",
+            f"{s['height_slice']}/{s['height_critical']}",
+            str(s["triggers"]),
+        ] for s in slices]
+        lines.extend(_table(
+            ["slice", "kind", "interproc", "size", "live-ins",
+             "slack/iter", "height s/c", "triggers"], rows))
+
+    loads = metrics.get("delinquent_loads")
+    if loads:
+        lines.append("")
+        lines.append("delinquent loads: prefetch coverage / accuracy / "
+                     "timeliness")
+        rows = []
+        for key in sorted(loads, key=lambda k: int(k)):
+            row = loads[key]
+            rows.append([
+                str(row.get("uid", key)),
+                str(row.get("accesses", "-")),
+                str(row.get("l1_misses", "-")),
+                str(row.get("prefetches_issued", "-")),
+                f"{row.get('coverage', 0.0):6.1%}",
+                f"{row.get('accuracy', 0.0):6.1%}",
+                f"{row.get('timeliness', 0.0):6.1%}",
+            ])
+        lines.extend(_table(
+            ["load", "accesses", "L1 misses", "prefetches", "coverage",
+             "accuracy", "timeliness"], rows))
+
+    sim = metrics.get("sim")
+    if sim:
+        lines.append("")
+        parts = [f"cycles={sim['cycles']}"]
+        if "speedup" in sim:
+            parts.append(f"speedup={sim['speedup']:.2f}x")
+        parts.append(f"spawns={sim['spawns']}")
+        parts.append(f"chk fired/ignored={sim['chk_fired']}/"
+                     f"{sim['chk_ignored']}")
+        parts.append(f"prefetches={sim['prefetches_issued']}")
+        lines.append("simulation: " + "  ".join(parts))
+        breakdown = sim.get("cycle_breakdown")
+        if breakdown:
+            total = sum(breakdown.values()) or 1
+            lines.append("cycle breakdown: " + ", ".join(
+                f"{cat}={count} ({count / total:.0%})"
+                for cat, count in breakdown.items() if count))
+
+    runner = metrics.get("runner")
+    if runner:
+        lines.append("")
+        lines.append(f"runner: {runner['launched']} simulated, "
+                     f"{runner['cache_hits']} cached "
+                     f"({100 * runner['hit_rate']:.0f}% hit rate), "
+                     f"sim wall {runner['sim_wall_time']:.2f}s "
+                     f"(saved {runner['saved_wall_time']:.2f}s)")
+    return "\n".join(lines)

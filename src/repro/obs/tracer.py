@@ -1,0 +1,264 @@
+"""Structured event tracing: spans, instant events, counters, histograms.
+
+The :class:`Tracer` is the single collection point of the observability
+layer.  Code under observation holds a tracer reference and emits
+
+* **spans** — named, wall-clocked intervals wrapping one pipeline pass
+  (``with tracer.span("slicing") as span: ... span.set(loads=3)``),
+* **events** — instant occurrences with arbitrary JSON-safe payloads,
+* **counters** — monotonically accumulated integers,
+* **histograms** — value distributions with summary statistics.
+
+Everything is recorded against a wall-clock epoch taken at construction,
+so exporters can lay spans out on a timeline without re-deriving offsets.
+
+When observation is off, callers use :data:`NULL_TRACER` (via
+:func:`ensure_tracer`): every method is a no-op returning shared inert
+objects, so the disabled path costs one attribute lookup and one call —
+no allocation, no branching on flags at every emission site.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """A named value distribution with summary statistics."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (``p`` in [0, 100]); 0.0 when empty."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        values = self._values
+        if not values:
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p90": 0.0}
+        return {
+            "count": len(values),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+        }
+
+
+class Span:
+    """One named, wall-clocked interval (a pipeline pass, a simulation)."""
+
+    __slots__ = ("name", "category", "start", "end", "metrics")
+
+    def __init__(self, name: str, category: str, start: float,
+                 metrics: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.category = category
+        #: Seconds since the owning tracer's epoch.
+        self.start = start
+        self.end = start
+        self.metrics: Dict[str, Any] = dict(metrics or {})
+
+    def set(self, **metrics: Any) -> None:
+        """Attach (or overwrite) metric values on this span."""
+        self.metrics.update(metrics)
+
+    @property
+    def wall_time(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "cat": self.category,
+            "start": self.start,
+            "end": self.end,
+            "wall_time": self.wall_time,
+            "metrics": dict(self.metrics),
+        }
+
+
+class _SpanContext:
+    """Context manager closing a span on exit (exceptions included)."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.end = self._tracer._now()
+        self._tracer.spans.append(span)
+        return False
+
+
+class Tracer:
+    """Collects spans, events, counters and histograms for one run."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self.spans: List[Span] = []
+        self.events: List[Dict[str, Any]] = []
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _now(self) -> float:
+        """Seconds since the tracer's epoch."""
+        return self._clock() - self._epoch
+
+    # -- emission --------------------------------------------------------------------
+
+    def span(self, name: str, category: str = "pass",
+             **metrics: Any) -> _SpanContext:
+        """Open a wall-clocked span; use as a context manager."""
+        return _SpanContext(self, Span(name, category, self._now(), metrics))
+
+    def event(self, name: str, category: str = "event",
+              **args: Any) -> None:
+        """Record an instant event at the current wall time."""
+        self.events.append({"type": "event", "name": name, "cat": category,
+                            "ts": self._now(), "args": args})
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    # -- snapshots -------------------------------------------------------------------
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms_snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {name: h.summary()
+                for name, h in sorted(self._histograms.items())}
+
+    def span_dicts(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.spans]
+
+
+class _NullSpan:
+    """Inert span: accepts metrics, records nothing."""
+
+    __slots__ = ()
+
+    def set(self, **metrics: Any) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def add(self, n: int = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+_NULL_COUNTER = _NullCounter()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a shared-object no-op."""
+
+    enabled = False
+    spans: List[Span] = []
+    events: List[Dict[str, Any]] = []
+
+    def span(self, name: str, category: str = "pass",
+             **metrics: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, category: str = "event",
+              **args: Any) -> None:
+        pass
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        return {}
+
+    def histograms_snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def span_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+
+#: Shared disabled tracer; hold a reference to this when observation is off.
+NULL_TRACER = NullTracer()
+
+
+def ensure_tracer(tracer) -> "Tracer":
+    """``tracer`` itself, or :data:`NULL_TRACER` when ``None``."""
+    return tracer if tracer is not None else NULL_TRACER

@@ -8,8 +8,9 @@ at least 90% of the cache misses."
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..obs.tracer import Tracer, ensure_tracer
 from .profile import ProgramProfile
 
 DEFAULT_COVERAGE = 0.90
@@ -19,13 +20,17 @@ DEFAULT_MAX_LOADS = 10
 def select_delinquent_loads(profile: ProgramProfile,
                             coverage: float = DEFAULT_COVERAGE,
                             max_loads: int = DEFAULT_MAX_LOADS,
-                            min_misses: int = 16) -> List[int]:
+                            min_misses: int = 16,
+                            tracer: Optional[Tracer] = None) -> List[int]:
     """Static-load uids covering ``coverage`` of all L1 misses.
 
     Loads are ranked by miss count; selection stops once cumulative
     coverage is reached or ``max_loads`` are taken.  ``min_misses`` filters
-    noise loads that would waste a hardware context.
+    noise loads that would waste a hardware context.  An enabled
+    ``tracer`` receives one ``delinquent_load`` event per selection — the
+    per-static-load miss attribution of the observability event log.
     """
+    tracer = ensure_tracer(tracer)
     ranked = sorted(profile.load_stats.items(),
                     key=lambda kv: kv[1].l1_misses, reverse=True)
     total = profile.total_misses()
@@ -38,6 +43,12 @@ def select_delinquent_loads(profile: ProgramProfile,
             break
         selected.append(uid)
         covered += stats.l1_misses
+        tracer.event("delinquent_load", category="profiling", uid=uid,
+                     l1_misses=stats.l1_misses,
+                     miss_cycles=profile.miss_cycles_of(uid),
+                     cumulative_coverage=covered / total)
         if covered / total >= coverage or len(selected) >= max_loads:
             break
+    tracer.counter("profiling.loads_ranked").add(len(ranked))
+    tracer.counter("profiling.delinquent_selected").add(len(selected))
     return selected

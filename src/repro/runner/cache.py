@@ -93,7 +93,8 @@ class ResultCache:
         return entry
 
     def put(self, spec: RunSpec, stats_dict: Dict,
-            wall_time: float = 0.0) -> Path:
+            wall_time: float = 0.0,
+            metrics: Optional[Dict] = None) -> Path:
         """Store a result atomically (write-to-temp then rename)."""
         path = self._path(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -105,6 +106,8 @@ class ResultCache:
             "spec": spec.key(),
             "stats": stats_dict,
         }
+        if metrics:
+            entry["metrics"] = metrics
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(entry, fh, sort_keys=True)

@@ -52,6 +52,9 @@ class RunResult:
     attempts: int = 0
     error: Optional[str] = None
     stats_dict: Dict = field(default_factory=dict, repr=False)
+    #: Observability metrics attached by the worker (per-delinquent-load
+    #: prefetch effectiveness for SSP runs); survives cache hits.
+    metrics: Dict = field(default_factory=dict, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -141,18 +144,20 @@ class Runner:
         self.telemetry.record_cache_hit(spec.label(), wall, digest)
         return RunResult(spec, stats=SimStats.from_dict(entry["stats"]),
                          cached=True, wall_time=wall,
-                         stats_dict=entry["stats"])
+                         stats_dict=entry["stats"],
+                         metrics=entry.get("metrics") or {})
 
     def _complete(self, spec: RunSpec, payload: Dict,
                   attempts: int) -> RunResult:
         wall = payload.get("wall_time", 0.0)
+        metrics = payload.get("metrics") or {}
         if self.cache is not None:
-            self.cache.put(spec, payload["stats"], wall)
+            self.cache.put(spec, payload["stats"], wall, metrics=metrics)
         self.telemetry.record_complete(spec.label(), wall, attempts,
                                        spec.content_hash())
         return RunResult(spec, stats=SimStats.from_dict(payload["stats"]),
                          wall_time=wall, attempts=attempts,
-                         stats_dict=payload["stats"])
+                         stats_dict=payload["stats"], metrics=metrics)
 
     def _fail(self, spec: RunSpec, error: BaseException,
               attempts: int) -> RunResult:

@@ -92,6 +92,10 @@ class RunnerTelemetry:
             "saved_wall_time": self.saved_wall_time,
         }
 
+    def to_dict(self) -> Dict:
+        """Machine-readable session summary (``--telemetry-json``)."""
+        return {"summary": self.snapshot(), "records": list(self.records)}
+
     def summary(self) -> str:
         parts = [
             f"runs: {self.launched} simulated, {self.cache_hits} cached "

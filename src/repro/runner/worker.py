@@ -19,6 +19,7 @@ import dataclasses
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from ..obs.tracer import NULL_TRACER
 from ..profiling.collect import collect_profile
 from ..profiling.profile import ProgramProfile
 from ..sim.config import MachineConfig
@@ -44,6 +45,10 @@ class WorkloadArtifacts:
                              if tool_options else None)
         self.workload = make_workload(name, scale)
         self.program = self.workload.build_program()
+        #: Observability sink for the expensive builds below; callers that
+        #: want spans (the CLI's ``--trace``) set this before the first
+        #: access to :attr:`profile` / :attr:`tool_result`.
+        self.tracer = NULL_TRACER
         self._profile: Optional[ProgramProfile] = None
         self._tool_result: Optional[ToolResult] = None
         self._hand_workload = None
@@ -51,14 +56,18 @@ class WorkloadArtifacts:
     @property
     def profile(self) -> ProgramProfile:
         if self._profile is None:
-            self._profile = collect_profile(self.program,
-                                            self.workload.build_heap)
+            with self.tracer.span("collect_profile",
+                                  category="profiling") as sp:
+                self._profile = collect_profile(self.program,
+                                                self.workload.build_heap)
+                sp.set(baseline_cycles=self._profile.baseline_cycles,
+                       total_miss_cycles=self._profile.total_miss_cycles())
         return self._profile
 
     @property
     def tool_result(self) -> ToolResult:
         if self._tool_result is None:
-            tool = SSPPostPassTool(self.tool_options)
+            tool = SSPPostPassTool(self.tool_options, tracer=self.tracer)
             self._tool_result = tool.adapt(self.program, self.profile)
         return self._tool_result
 
@@ -139,7 +148,18 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
                      max_cycles=spec.max_cycles)
     if spec.variant in _CHECKED_VARIANTS:
         heap_workload.check_output(heap)
-    return {
+    payload = {
         "stats": stats.to_dict(),
         "wall_time": time.perf_counter() - started,
     }
+    if spec.variant == "ssp":
+        # Attach the per-delinquent-load prefetch effectiveness so a later
+        # cache hit can still report coverage/accuracy/timeliness without
+        # re-simulating.  Keys are strings to survive the JSON round trip.
+        payload["metrics"] = {
+            "delinquent_uids": list(artifacts.delinquent_uids),
+            "prefetch": {
+                str(uid): row for uid, row in stats.prefetch_metrics(
+                    artifacts.delinquent_uids).items()},
+        }
+    return payload

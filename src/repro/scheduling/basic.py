@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from ..analysis.depgraph import FLOW
+from ..obs.tracer import Tracer, ensure_tracer
 from ..slicing.regional import RegionSlice
 from .chaining import (
     _emittable,
@@ -37,6 +38,9 @@ from .slack import region_height, slack_bsp_per_iteration
 
 class BasicScheduler:
     """Schedules a region slice for basic speculative precomputation."""
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self.tracer = ensure_tracer(tracer)
 
     def schedule(self, region_slice: RegionSlice,
                  region_uids: Optional[Set[int]] = None) -> ScheduledSlice:
@@ -87,6 +91,13 @@ class BasicScheduler:
         h_region = region_height(dg, region_uids)
         h_slice = dg.max_height(emit_uids, within=emit_uids)
         per_iter = slack_bsp_per_iteration(h_region, h_slice)
+
+        self.tracer.counter("scheduler.basic_schedules").add()
+        self.tracer.event("schedule", category="scheduling", kind="basic",
+                          load_uid=region_slice.load.uid,
+                          loop=region.loop is not None,
+                          instructions=len(ordered), live_ins=len(live_ins),
+                          rotation=rotation, slack_per_iteration=per_iter)
 
         return ScheduledSlice(
             kind=BASIC,

@@ -16,6 +16,7 @@ from typing import List, Optional, Set
 
 from ..isa.instructions import Instruction
 from ..analysis.depgraph import FLOW, DependenceGraph
+from ..obs.tracer import Tracer, ensure_tracer
 from ..slicing.regional import RegionSlice
 from .listsched import list_schedule
 from .partition import critical_subslice
@@ -101,6 +102,9 @@ def _prefetch_convertible(dg: DependenceGraph, load: Instruction,
 
 class ChainingScheduler:
     """Schedules a region slice for chaining speculative precomputation."""
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self.tracer = ensure_tracer(tracer)
 
     def schedule(self, region_slice: RegionSlice,
                  region_uids: Optional[Set[int]] = None) -> ScheduledSlice:
@@ -245,6 +249,19 @@ class ChainingScheduler:
         h_slice = dg.max_height(emit_uids, within=emit_uids)
         per_iter = slack_csp_per_iteration(h_region, h_critical,
                                            len(live_ins))
+
+        self.tracer.counter("scheduler.chaining_schedules").add()
+        if guard is not None:
+            self.tracer.counter("scheduler.predicted_spawns").add()
+        if kill_after_uid is not None:
+            self.tracer.counter("scheduler.chase_kill_fallbacks").add()
+        self.tracer.event("schedule", category="scheduling", kind="chaining",
+                          load_uid=region_slice.load.uid,
+                          critical=len(critical_order),
+                          noncritical=len(noncritical_order),
+                          live_ins=len(live_ins), rotation=rotation,
+                          predicted=guard is not None,
+                          slack_per_iteration=per_iter)
 
         return ScheduledSlice(
             kind=CHAINING,

@@ -7,7 +7,13 @@ from .config import (
     ooo_config,
     table1_rows,
 )
-from .caches import AccessResult, CacheLevel, LoadStats, MemorySystem
+from .caches import (
+    AccessResult,
+    CacheLevel,
+    LoadStats,
+    MemorySystem,
+    PrefetchStats,
+)
 from .branch import GsharePredictor
 from .stats import CYCLE_CATEGORIES, STALL_CATEGORY, SimStats
 from .inorder import InOrderSimulator
@@ -19,6 +25,7 @@ __all__ = [
     "CacheConfig", "MachineConfig", "inorder_config", "ooo_config",
     "table1_rows",
     "AccessResult", "CacheLevel", "LoadStats", "MemorySystem",
+    "PrefetchStats",
     "GsharePredictor",
     "CYCLE_CATEGORIES", "STALL_CATEGORY", "SimStats",
     "InOrderSimulator", "OOOSimulator",

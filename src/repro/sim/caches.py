@@ -90,7 +90,8 @@ class CacheLevel:
 class LoadStats:
     """Counters for one static load (main-thread accesses only)."""
 
-    __slots__ = ("accesses", "hits", "partials", "miss_cycles")
+    __slots__ = ("accesses", "hits", "partials", "miss_cycles",
+                 "prefetch_timely", "prefetch_late")
 
     def __init__(self):
         self.accesses = 0
@@ -100,6 +101,12 @@ class LoadStats:
         self.partials = {lvl: 0 for lvl in (L2, L3, MEM)}
         #: Total cycles of latency beyond an L1 hit.
         self.miss_cycles = 0
+        #: Accesses that hit in L1 because a prefetch filled the line in
+        #: time (the fully-hidden misses).
+        self.prefetch_timely = 0
+        #: Accesses served as partial hits off an in-flight prefetch (the
+        #: prefetch helped but arrived late).
+        self.prefetch_late = 0
 
     @property
     def l1_misses(self) -> int:
@@ -107,6 +114,19 @@ class LoadStats:
 
     def miss_rate(self) -> float:
         return self.l1_misses / self.accesses if self.accesses else 0.0
+
+
+class PrefetchStats:
+    """Counters for one static prefetch instruction (``lfetch``)."""
+
+    __slots__ = ("issued", "useful")
+
+    def __init__(self):
+        #: Prefetch accesses that reached the memory system.
+        self.issued = 0
+        #: Prefetches whose line was later consumed by a main-thread load
+        #: (as an L1 hit or an in-transit partial hit).
+        self.useful = 0
 
 
 class MemorySystem:
@@ -133,6 +153,13 @@ class MemorySystem:
         self.tlb_misses = 0
         self.prefetches_issued = 0
         self.prefetches_dropped = 0
+        # Prefetch attribution: per-static-lfetch counters, the lfetch ->
+        # delinquent-load mapping (installed by the simulator from
+        # ``Program.prefetch_sources``), and the lines currently credited
+        # to an outstanding prefetch (line -> lfetch uid).
+        self.prefetch_stats: Dict[int, PrefetchStats] = {}
+        self.prefetch_sources: Dict[int, int] = {}
+        self._prefetched_lines: Dict[int, int] = {}
 
     # -- helpers ---------------------------------------------------------------
 
@@ -187,11 +214,21 @@ class MemorySystem:
                 self._in_transit.pop(line, None)
             result = AccessResult(now + cfg.l1.latency, L1)
             if is_main and not is_prefetch and not is_store:
-                self._record(uid, result, now)
+                self._record(uid, result, now, self.line_of(addr))
             return result
 
         if is_prefetch:
             self.prefetches_issued += 1
+        # An explicit lfetch — or a speculative thread's copy of a
+        # delinquent load (mapped by the emitter) — acts as a prefetch for
+        # its source load and is attributed as such.
+        prefetching = is_prefetch or (not is_main and not is_store
+                                      and uid in self.prefetch_sources)
+        if prefetching:
+            pstats = self.prefetch_stats.get(uid)
+            if pstats is None:
+                pstats = self.prefetch_stats[uid] = PrefetchStats()
+            pstats.issued += 1
 
         line = self.line_of(addr)
         extra = self._tlb_access(addr)
@@ -204,14 +241,14 @@ class MemorySystem:
                 # Partial miss: the line is already on its way to L1.
                 result = AccessResult(done, origin, partial=True)
                 if is_main and not is_prefetch and not is_store:
-                    self._record(uid, result, now)
+                    self._record(uid, result, now, line)
                 return result
             del self._in_transit[line]
 
         if self.l1.lookup(line):
             result = AccessResult(start + cfg.l1.latency, L1)
             if is_main and not is_prefetch and not is_store:
-                self._record(uid, result, now)
+                self._record(uid, result, now, line)
             return result
 
         # L1 miss: the fill occupies a fill-buffer entry.
@@ -228,13 +265,22 @@ class MemorySystem:
         self.l1.insert(line)
         self._in_transit[line] = (ready, origin)
         heapq.heappush(self._fills, ready)
+        if prefetching:
+            # Credit this line's next main-thread consumption to the
+            # prefetch that started the fill.
+            self._prefetched_lines[line] = uid
+        else:
+            # A demand fill means any previously-prefetched copy of the
+            # line is gone; drop the stale credit.
+            self._prefetched_lines.pop(line, None)
 
         result = AccessResult(ready, origin)
         if is_main and not is_prefetch and not is_store:
-            self._record(uid, result, now)
+            self._record(uid, result, now, line)
         return result
 
-    def _record(self, uid: int, result: AccessResult, now: int) -> None:
+    def _record(self, uid: int, result: AccessResult, now: int,
+                line: int) -> None:
         stats = self.load_stats.get(uid)
         if stats is None:
             stats = self.load_stats[uid] = LoadStats()
@@ -248,6 +294,22 @@ class MemorySystem:
         beyond_l1 = (result.ready - now) - self.config.l1.latency
         if result.level != L1 and beyond_l1 > 0:
             stats.miss_cycles += beyond_l1
+        pf_uid = self._prefetched_lines.pop(line, None)
+        if pf_uid is not None:
+            # First main-thread touch of a prefetched line: a full L1 hit
+            # means the prefetch was timely, a partial hit means it was
+            # late but still shortened the miss.  A full (non-partial)
+            # miss means the prefetched copy was evicted first — the
+            # credit is dropped without counting the prefetch as useful.
+            if result.partial:
+                stats.prefetch_late += 1
+            elif result.level == L1:
+                stats.prefetch_timely += 1
+            else:
+                return
+            pstats = self.prefetch_stats.get(pf_uid)
+            if pstats is not None:
+                pstats.useful += 1
 
     # -- inspection --------------------------------------------------------------
 
@@ -263,3 +325,4 @@ class MemorySystem:
         self._tlb = []
         self._in_transit = {}
         self._fills = []
+        self._prefetched_lines = {}

@@ -85,6 +85,8 @@ class InOrderSimulator:
         self.spawning = spawning
         self.max_cycles = max_cycles
         self.memory = MemorySystem(config)
+        self.memory.prefetch_sources = dict(
+            getattr(program, "prefetch_sources", {}))
         self.predictor = GsharePredictor(
             config.gshare_entries, config.btb_entries, config.btb_ways,
             config.hardware_contexts)
@@ -109,6 +111,11 @@ class InOrderSimulator:
     def _on_reap(self, slot: int, now: int) -> None:
         """Hook invoked when a finished speculative thread frees its
         context (overridden by the tracing simulator)."""
+
+    def _on_chk_fired(self, uid: int, now: int) -> None:
+        """Hook invoked when a chk.c trigger fires (overridden by the
+        tracing simulator; fired triggers are rare, so the no-op call
+        costs nothing measurable)."""
 
     def _free_slot(self) -> Optional[int]:
         for slot in range(1, self.config.hardware_contexts):
@@ -268,6 +275,7 @@ class InOrderSimulator:
             elif op == "chk.c" and result.chk_taken:
                 # Lightweight exception: pipeline flush, resume in the stub.
                 self.stats.chk_fired += 1
+                self._on_chk_fired(instr.uid, now)
                 thread.stall_until = now + config.chk_flush_penalty
                 thread.wake = thread.stall_until
                 break

@@ -81,6 +81,8 @@ class OOOSimulator:
         self.spawning = spawning
         self.max_cycles = max_cycles
         self.memory = MemorySystem(config)
+        self.memory.prefetch_sources = dict(
+            getattr(program, "prefetch_sources", {}))
         self.predictor = GsharePredictor(
             config.gshare_entries, config.btb_entries, config.btb_ways,
             config.hardware_contexts * 8)

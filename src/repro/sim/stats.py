@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
-from .caches import L1, L2, L3, MEM, LoadStats, MemorySystem
+from .caches import L1, L2, L3, MEM, LoadStats, MemorySystem, PrefetchStats
 
 CYCLE_CATEGORIES = ("L3", "L2", "L1", "CacheExec", "Exec", "Other")
 
@@ -121,6 +121,58 @@ class SimStats:
         uids = [uid for uid, s in ranked if s.miss_cycles > 0]
         return uids[:limit] if limit is not None else uids
 
+    # -- prefetch effectiveness ------------------------------------------------------
+
+    def prefetch_metrics(self, uids: Optional[Iterable[int]] = None
+                         ) -> Dict[int, Dict[str, float]]:
+        """Per-target-load prefetch **coverage / accuracy / timeliness**.
+
+        For each load uid (default: every load some prefetch targets, per
+        the emitter's ``prefetch_sources`` mapping):
+
+        * ``coverage`` — fraction of the load's would-be L1 misses served
+          off a prefetched line (timely L1 hits count as would-be misses);
+        * ``accuracy`` — fraction of the prefetches issued *for this load*
+          whose line the main thread actually consumed;
+        * ``timeliness`` — fraction of the covered accesses where the
+          prefetch fully hid the miss (L1 hit rather than partial hit).
+        """
+        mem = self.memory
+        issued: Dict[int, int] = {}
+        useful: Dict[int, int] = {}
+        for pf_uid, pstats in mem.prefetch_stats.items():
+            target = mem.prefetch_sources.get(pf_uid)
+            if target is None:
+                continue
+            issued[target] = issued.get(target, 0) + pstats.issued
+            useful[target] = useful.get(target, 0) + pstats.useful
+        if uids is None:
+            uids = sorted(issued)
+        out: Dict[int, Dict[str, float]] = {}
+        for uid in uids:
+            ls = mem.load_stats.get(uid)
+            timely = ls.prefetch_timely if ls else 0
+            late = ls.prefetch_late if ls else 0
+            covered = timely + late
+            l1_misses = ls.l1_misses if ls else 0
+            # Timely-covered accesses *are* L1 hits; add them back so
+            # coverage is measured against what would have missed.
+            would_miss = l1_misses + timely
+            n_issued = issued.get(uid, 0)
+            n_useful = useful.get(uid, 0)
+            out[uid] = {
+                "accesses": ls.accesses if ls else 0,
+                "l1_misses": l1_misses,
+                "prefetches_issued": n_issued,
+                "prefetches_useful": n_useful,
+                "covered_timely": timely,
+                "covered_late": late,
+                "coverage": covered / would_miss if would_miss else 0.0,
+                "accuracy": n_useful / n_issued if n_issued else 0.0,
+                "timeliness": timely / covered if covered else 0.0,
+            }
+        return out
+
     # -- serialisation ---------------------------------------------------------------
 
     def to_dict(self) -> Dict:
@@ -143,9 +195,17 @@ class SimStats:
                     "hits": dict(ls.hits),
                     "partials": dict(ls.partials),
                     "miss_cycles": ls.miss_cycles,
+                    "prefetch_timely": ls.prefetch_timely,
+                    "prefetch_late": ls.prefetch_late,
                 } for uid, ls in sorted(mem.load_stats.items())},
             "level_counts": dict(mem.level_counts),
             "partial_counts": dict(mem.partial_counts),
+            "prefetch_stats": {
+                str(uid): {"issued": ps.issued, "useful": ps.useful}
+                for uid, ps in sorted(mem.prefetch_stats.items())},
+            "prefetch_sources": {
+                str(uid): target
+                for uid, target in sorted(mem.prefetch_sources.items())},
         }
         for name in _MEMORY_FIELDS:
             out["memory"][name] = getattr(mem, name)
@@ -174,9 +234,19 @@ class SimStats:
             ls.hits.update(ls_data["hits"])
             ls.partials.update(ls_data["partials"])
             ls.miss_cycles = ls_data["miss_cycles"]
+            ls.prefetch_timely = ls_data.get("prefetch_timely", 0)
+            ls.prefetch_late = ls_data.get("prefetch_late", 0)
             mem.load_stats[int(uid_str)] = ls
         mem.level_counts.update(mem_data["level_counts"])
         mem.partial_counts.update(mem_data["partial_counts"])
+        for uid_str, ps_data in mem_data.get("prefetch_stats", {}).items():
+            ps = PrefetchStats()
+            ps.issued = ps_data["issued"]
+            ps.useful = ps_data["useful"]
+            mem.prefetch_stats[int(uid_str)] = ps
+        mem.prefetch_sources.update(
+            {int(uid_str): target for uid_str, target in
+             mem_data.get("prefetch_sources", {}).items()})
         for name in _MEMORY_FIELDS:
             setattr(mem, name, mem_data[name])
         return stats

@@ -30,6 +30,14 @@ class ContextTrace:
         self.intervals: Dict[int, List[Tuple[int, int, int]]] = {
             slot: [] for slot in range(num_contexts)}
         self._open: Dict[int, Tuple[int, int]] = {}
+        #: Simulation-time point events: (cycle, name, args) — spawns,
+        #: fired triggers, thread lifecycle (the timeline exporters turn
+        #: these into instant events on the context tracks).
+        self.events: List[Tuple[int, str, Dict]] = []
+
+    def note(self, cycle: int, name: str, **args) -> None:
+        """Record a simulation-time point event."""
+        self.events.append((cycle, name, args))
 
     def occupy(self, slot: int, tid: int, cycle: int) -> None:
         self._open[slot] = (tid, cycle)
@@ -104,10 +112,18 @@ class TracingInOrderSimulator(InOrderSimulator):
             after = [i for i, c in enumerate(self.contexts) if c is None]
             (slot,) = set(before) - set(after)
             self.trace.occupy(slot, self._next_tid, now)
+            self.trace.note(now, "spawn", slot=slot, tid=self._next_tid,
+                            parent=parent.state.tid)
+        else:
+            self.trace.note(now, "spawn_failure",
+                            parent=parent.state.tid)
         return ok
 
     def _on_reap(self, slot: int, now: int) -> None:  # noqa: D102
         self.trace.release(slot, now)
+
+    def _on_chk_fired(self, uid: int, now: int) -> None:  # noqa: D102
+        self.trace.note(now, "chk_fired", uid=uid)
 
     def run(self) -> SimStats:  # noqa: D102
         self.trace.occupy(0, 0, 0)

@@ -33,6 +33,7 @@ from ..isa.instructions import Instruction
 from ..isa.program import Program
 from ..analysis.callgraph import CallGraph
 from ..analysis.depgraph import CONTROL, FLOW, DependenceGraph
+from ..obs.tracer import Tracer, ensure_tracer
 
 
 class SliceSummary:
@@ -105,20 +106,23 @@ class ContextSensitiveSlicer:
     def __init__(self, program: Program, callgraph: CallGraph,
                  depgraphs: Dict[str, DependenceGraph],
                  executed_uids: Optional[Set[int]] = None,
-                 max_callee_depth: int = 3):
+                 max_callee_depth: int = 3,
+                 tracer: Optional[Tracer] = None):
         """``depgraphs`` maps function name to its dependence graph.
 
         ``executed_uids``, when given, restricts slicing to instructions
         observed executing (control-flow speculative slicing hands this in,
         Section 3.1.2).  ``max_callee_depth`` bounds summary splicing (the
         region-graph traversal "stops when it is nested several levels
-        deep").
+        deep").  ``tracer`` counts summary memo hits/computations and
+        fixed-point recomputations.
         """
         self.program = program
         self.callgraph = callgraph
         self.depgraphs = depgraphs
         self.executed_uids = executed_uids
         self.max_callee_depth = max_callee_depth
+        self.tracer = ensure_tracer(tracer)
         self._summaries: Dict[str, SliceSummary] = {}
         self._in_progress: List[str] = []       # summary construction stack
         self._summary_deps: Dict[str, Set[str]] = {}
@@ -183,6 +187,7 @@ class ContextSensitiveSlicer:
         """Return-value slice summary of ``function`` (fixed point)."""
         if function in self._summaries and \
                 function not in self._in_progress:
+            self.tracer.counter("slicer.summary_hits").add()
             return self._summaries[function]
         if function in self._in_progress:
             # Recurrence: use the approximate summary already built and
@@ -196,6 +201,7 @@ class ContextSensitiveSlicer:
         self._in_progress.append(function)
         self._summaries[function] = SliceSummary()
         summary = self._compute_summary(function)
+        self.tracer.counter("slicer.summaries_computed").add()
         old_key = self._summaries[function].key()
         self._summaries[function] = summary
         self._in_progress.pop()
@@ -215,6 +221,7 @@ class ContextSensitiveSlicer:
             previous = self._summaries.get(name, SliceSummary()).key()
             self._in_progress.append(name)
             self._summaries[name] = self._compute_summary(name)
+            self.tracer.counter("slicer.fixed_point_recomputes").add()
             self._in_progress.pop()
             if self._summaries[name].key() != previous:
                 worklist.extend(self._summary_deps.get(name, set()))
@@ -357,6 +364,11 @@ class ContextSensitiveSlicer:
                 if caller not in self.depgraphs:
                     continue
                 result.context_functions.append(caller)
+                self.tracer.counter("slicer.context_mappings").add()
+                self.tracer.event("context_map", category="slicing",
+                                  load_uid=result.load.uid, caller=caller,
+                                  function=result.function,
+                                  formals=len(result.formals))
                 dg = self.depgraphs[caller]
                 for formal in sorted(result.formals):
                     reg = regs.arg_register(formal)

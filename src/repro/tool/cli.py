@@ -6,21 +6,48 @@ adaptation and its effect::
     ssp-postpass mcf --scale small --model inorder
     ssp-postpass --list
     ssp-postpass --experiments figure8 table2 --jobs 4
+    ssp-postpass treeadd.df --trace out.jsonl --metrics-json metrics.json
+    ssp-postpass report treeadd.df --scale tiny
+    ssp-postpass report --from metrics.json
     ssp-postpass cache stats
     ssp-postpass cache clear [--stale]
 
 All simulations go through :mod:`repro.runner`: results are cached under
 ``.repro-cache/`` (disable with ``--no-cache``) and ``--jobs N`` fans each
 experiment's simulation batch out over N worker processes.
+
+Observability (:mod:`repro.obs`): ``--trace FILE`` writes a JSONL event
+log plus a Perfetto-loadable Chrome trace next to it, ``--metrics-json``
+a structured metrics document, ``--gantt`` the ASCII context-occupancy
+chart, and ``--telemetry-json`` the runner's cache/wall-time summary; the
+``report`` subcommand renders a human-readable observability report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from ..runner import ResultCache, Runner, RunSpec, artifacts_for
+from ..obs import (
+    NULL_TRACER,
+    Tracer,
+    chrome_trace_events,
+    collect_metrics,
+    jsonl_records,
+    render_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from ..runner import (
+    ResultCache,
+    Runner,
+    RunSpec,
+    WorkloadArtifacts,
+    artifacts_for,
+)
 from ..workloads import PAPER_ORDER, workload_names
 
 
@@ -29,11 +56,45 @@ def _make_runner(args) -> Runner:
     return Runner(jobs=args.jobs, cache=cache)
 
 
+def _observed_artifacts(spec: RunSpec, tracer) -> WorkloadArtifacts:
+    """Fresh (non-memoised) artifacts so every pass runs under ``tracer``.
+
+    The shared :func:`artifacts_for` memo may already hold a fully-built
+    profile/adaptation for this spec, in which case no spans would be
+    recorded; an observed run pays the rebuild to get a complete trace.
+    """
+    artifacts = WorkloadArtifacts(spec.workload, spec.scale,
+                                  spec.tool_options_dict())
+    artifacts.tracer = tracer
+    return artifacts
+
+
+def _print_prefetch_effectiveness(stats, delinquent_uids) -> None:
+    """Per-delinquent-load coverage / accuracy / timeliness lines."""
+    prefetch = stats.prefetch_metrics(delinquent_uids)
+    if not prefetch:
+        return
+    print("      prefetch effectiveness per delinquent load:")
+    for uid in sorted(prefetch):
+        m = prefetch[uid]
+        print(f"        load {uid}: coverage {m['coverage']:6.1%}  "
+              f"accuracy {m['accuracy']:6.1%}  "
+              f"timeliness {m['timeliness']:6.1%}  "
+              f"(L1 misses {m['l1_misses']}, "
+              f"prefetches {m['prefetches_issued']})")
+
+
 def _adapt_and_report(name: str, scale: str, model: str,
-                      show_disassembly: bool, runner: Runner) -> int:
+                      show_disassembly: bool, runner: Runner,
+                      trace: Optional[str] = None,
+                      metrics_json: Optional[str] = None,
+                      gantt: Optional[str] = None) -> int:
+    observing = bool(trace or metrics_json or gantt)
+    tracer = Tracer() if observing else NULL_TRACER
     ssp_spec = RunSpec.create(name, scale=scale, model=model,
                               variant="ssp")
-    artifacts = artifacts_for(ssp_spec)
+    artifacts = (_observed_artifacts(ssp_spec, tracer) if observing
+                 else artifacts_for(ssp_spec))
     print(f"[1/4] profiling {name} ({scale}) on the baseline in-order "
           "model ...")
     profile = artifacts.profile
@@ -60,8 +121,19 @@ def _adapt_and_report(name: str, scale: str, model: str,
           f"avg live-ins={row['avg_live_ins']:.1f}")
 
     print(f"[3/4] simulating the SSP-enhanced binary ({model}) ...")
+    context_trace = None
     if model == "inorder":
-        stats = runner.stats(ssp_spec)
+        if observing:
+            # A context-traced simulation (bypasses the runner so the
+            # exporters get per-context occupancy + sim events).
+            from ..sim import trace_run
+            with tracer.span("simulate", category="sim") as sp:
+                heap = artifacts.workload.build_heap()
+                stats, context_trace = trace_run(result.program, heap)
+                artifacts.workload.check_output(heap)
+                sp.set(cycles=stats.cycles, spawns=stats.spawns)
+        else:
+            stats = runner.stats(ssp_spec)
         base = profile.baseline_cycles
     else:
         base_spec = RunSpec.create(name, scale=scale, model=model,
@@ -76,8 +148,33 @@ def _adapt_and_report(name: str, scale: str, model: str,
     print(f"      spawns={stats.spawns} chk fired/ignored="
           f"{stats.chk_fired}/{stats.chk_ignored} "
           f"prefetches={stats.memory.prefetches_issued}")
+    _print_prefetch_effectiveness(stats, result.delinquent_uids)
 
     print(f"[4/4] done.  [runner] {runner.telemetry.summary()}")
+    if gantt:
+        if context_trace is not None:
+            Path(gantt).write_text(context_trace.render_gantt() + "\n",
+                                   encoding="utf-8")
+            print(f"      gantt chart written to {gantt}")
+        else:
+            print("      --gantt needs the inorder model; skipped",
+                  file=sys.stderr)
+    if trace:
+        meta = {"workload": name, "scale": scale, "model": model}
+        write_jsonl(trace, jsonl_records(tracer, context_trace, meta=meta))
+        chrome_path = Path(trace).with_suffix(".chrome.json")
+        write_chrome_trace(chrome_path,
+                           chrome_trace_events(tracer, context_trace))
+        print(f"      trace written to {trace} (JSONL) and "
+              f"{chrome_path} (Perfetto/chrome://tracing)")
+    if metrics_json:
+        metrics = collect_metrics(
+            name, scale, model, profile=profile, tool_result=result,
+            stats=stats, baseline_cycles=base, tracer=tracer,
+            telemetry=runner.telemetry)
+        with open(metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+        print(f"      metrics written to {metrics_json}")
     if show_disassembly:
         print()
         print(result.program.disassemble())
@@ -129,11 +226,72 @@ def _cache_command(argv: List[str]) -> int:
     return 0
 
 
+def _report_command(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ssp-postpass report",
+        description="Render the observability report for one workload: "
+                    "pass spans, Table 2 slice rows, per-delinquent-load "
+                    "prefetch coverage/accuracy/timeliness.")
+    parser.add_argument("workload", nargs="?",
+                        help="benchmark to profile, adapt and simulate")
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "default"))
+    parser.add_argument("--model", default="inorder",
+                        choices=("inorder", "ooo"))
+    parser.add_argument("--from", dest="from_file", metavar="FILE",
+                        help="render a saved --metrics-json document "
+                             "instead of running anything")
+    args = parser.parse_args(argv)
+
+    if args.from_file:
+        with open(args.from_file, "r", encoding="utf-8") as fh:
+            metrics = json.load(fh)
+        print(render_report(metrics))
+        return 0
+    if not args.workload:
+        parser.print_usage()
+        return 2
+
+    tracer = Tracer()
+    spec = RunSpec.create(args.workload, scale=args.scale,
+                          model=args.model, variant="ssp")
+    artifacts = _observed_artifacts(spec, tracer)
+    profile = artifacts.profile
+    result = artifacts.tool_result
+    stats = None
+    baseline = (profile.baseline_cycles if args.model == "inorder"
+                else None)
+    telemetry = None
+    if result.adapted is not None:
+        if args.model == "inorder":
+            from ..sim import trace_run
+            with tracer.span("simulate", category="sim") as sp:
+                heap = artifacts.workload.build_heap()
+                stats, _ = trace_run(result.program, heap)
+                artifacts.workload.check_output(heap)
+                sp.set(cycles=stats.cycles, spawns=stats.spawns)
+        else:
+            runner = Runner()
+            base_spec = RunSpec.create(args.workload, scale=args.scale,
+                                       model=args.model, variant="base")
+            stats = runner.stats(spec)
+            baseline = runner.stats(base_spec).cycles
+            telemetry = runner.telemetry
+    metrics = collect_metrics(
+        args.workload, args.scale, args.model, profile=profile,
+        tool_result=result, stats=stats, baseline_cycles=baseline,
+        tracer=tracer, telemetry=telemetry)
+    print(render_report(metrics))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:  # pragma: no cover - console entry point
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return _cache_command(argv[1:])
+    if argv and argv[0] == "report":
+        return _report_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="ssp-postpass",
@@ -160,6 +318,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the on-disk result cache (neither "
                              "read nor written)")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a JSONL event log to FILE and a "
+                             "Chrome trace (Perfetto-loadable) next to it "
+                             "as FILE-stem.chrome.json")
+    parser.add_argument("--metrics-json", metavar="FILE",
+                        help="write the structured metrics document "
+                             "(pass spans, Table 2 rows, prefetch "
+                             "coverage/accuracy/timeliness) to FILE")
+    parser.add_argument("--gantt", metavar="FILE",
+                        help="write the ASCII context-occupancy chart to "
+                             "FILE (inorder model only)")
+    parser.add_argument("--telemetry-json", metavar="FILE",
+                        help="write the runner's machine-readable "
+                             "cache/wall-time summary to FILE")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -169,13 +341,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     runner = _make_runner(args)
     if args.experiments:
-        return _run_experiments(args.experiments, args.scale, runner)
-    if not args.workload:
+        code = _run_experiments(args.experiments, args.scale, runner)
+    elif not args.workload:
         parser.print_usage()
         return 2
-    return _adapt_and_report(args.workload, args.scale, args.model,
-                             args.disassemble, runner)
+    else:
+        code = _adapt_and_report(args.workload, args.scale, args.model,
+                                 args.disassemble, runner,
+                                 trace=args.trace,
+                                 metrics_json=args.metrics_json,
+                                 gantt=args.gantt)
+    if args.telemetry_json:
+        with open(args.telemetry_json, "w", encoding="utf-8") as fh:
+            json.dump(runner.telemetry.to_dict(), fh, indent=2,
+                      sort_keys=True)
+        print(f"[runner] telemetry written to {args.telemetry_json}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; exit quietly.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

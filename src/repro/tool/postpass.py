@@ -38,9 +38,10 @@ from ..slicing.regional import (
     merge_region_slices,
     restrict_to_region,
 )
-from ..slicing.slicer import ContextSensitiveSlicer
+from ..slicing.slicer import ContextSensitiveSlicer, ProgramSlice
 from ..slicing.speculative import executed_instruction_uids
 from ..triggers.placement import place_triggers
+from ..obs.tracer import Tracer, ensure_tracer
 
 
 @dataclass
@@ -119,73 +120,135 @@ class SSPPostPassTool:
     """Adapts a profiled binary for software-based speculative
     precomputation."""
 
-    def __init__(self, options: Optional[ToolOptions] = None):
+    def __init__(self, options: Optional[ToolOptions] = None,
+                 tracer: Optional[Tracer] = None):
         self.options = options or ToolOptions()
+        #: Observability sink; defaults to the inert null tracer so the
+        #: instrumented flow below costs nothing when tracing is off.
+        self.tracer = ensure_tracer(tracer)
 
     # -- the full flow -------------------------------------------------------------
 
     def adapt(self, program: Program,
               profile: ProgramProfile) -> ToolResult:
-        """Run the post-pass and return the adapted binary + trace."""
+        """Run the post-pass and return the adapted binary + trace.
+
+        Each pipeline stage runs under a tracer span (profiling →
+        analysis → slicing → scheduling → triggers → codegen) recording
+        its wall time and Table-2 material metrics.
+        """
         opts = self.options
+        tracer = self.tracer
         if not program.finalized:
             program.finalize()
 
-        delinquent = select_delinquent_loads(
-            profile, opts.coverage, opts.max_delinquent_loads)
+        with tracer.span("profiling") as sp:
+            delinquent = select_delinquent_loads(
+                profile, opts.coverage, opts.max_delinquent_loads,
+                tracer=tracer)
+            sp.set(delinquent_loads=len(delinquent),
+                   delinquent_miss_cycles=sum(
+                       profile.miss_cycles_of(uid) for uid in delinquent))
         result = ToolResult(adapted=None, delinquent_uids=delinquent)
         if not delinquent:
             return result
 
-        cfgs: Dict[str, CFG] = {}
-        depgraphs: Dict[str, DependenceGraph] = {}
-        latency = profile.load_latency_map()
-        for name, func in program.functions.items():
-            if not func.blocks:
-                continue
-            cfg = CFG(func)
-            cfgs[name] = cfg
-            depgraphs[name] = DependenceGraph(func, cfg, latency,
-                                              profile.l1_latency)
-        callgraph = CallGraph(program, profile.indirect_targets)
-        region_graph = RegionGraph(program, callgraph, profile.block_freq)
-        executed = executed_instruction_uids(
-            program, profile.block_freq, exec_counts=profile.exec_counts)
-        slicer = ContextSensitiveSlicer(program, callgraph, depgraphs,
-                                        executed)
+        with tracer.span("analysis") as sp:
+            cfgs: Dict[str, CFG] = {}
+            depgraphs: Dict[str, DependenceGraph] = {}
+            latency = profile.load_latency_map()
+            for name, func in program.functions.items():
+                if not func.blocks:
+                    continue
+                cfg = CFG(func)
+                cfgs[name] = cfg
+                depgraphs[name] = DependenceGraph(func, cfg, latency,
+                                                  profile.l1_latency)
+            callgraph = CallGraph(program, profile.indirect_targets)
+            region_graph = RegionGraph(program, callgraph,
+                                       profile.block_freq)
+            executed = executed_instruction_uids(
+                program, profile.block_freq,
+                exec_counts=profile.exec_counts)
+            slicer = ContextSensitiveSlicer(program, callgraph, depgraphs,
+                                            executed, tracer=tracer)
+            sp.set(functions=len(cfgs), regions=len(region_graph.regions))
 
         locate = self._locate_instructions(program)
-        selections: List[Tuple[RegionSlice, str]] = []
-        for uid in delinquent:
-            if uid not in locate:
-                continue
-            func_name, block_label, instr = locate[uid]
-            if func_name not in depgraphs:
-                continue
-            selection = self._select_region(
-                instr, func_name, block_label, slicer, region_graph,
-                depgraphs, profile, result.decisions)
-            if selection is not None:
-                selections.append(selection)
+        with tracer.span("slicing") as sp:
+            slices: Dict[int, Tuple[str, str, Instruction,
+                                    ProgramSlice]] = {}
+            size_hist = tracer.histogram("slice_size")
+            for uid in delinquent:
+                if uid not in locate:
+                    continue
+                func_name, block_label, instr = locate[uid]
+                if func_name not in depgraphs:
+                    continue
+                program_slice = slicer.slice_load_address(instr, func_name)
+                slices[uid] = (func_name, block_label, instr,
+                               program_slice)
+                size_hist.observe(program_slice.size())
+            sp.set(slices=len(slices),
+                   interprocedural=sum(
+                       1 for _, _, _, s in slices.values()
+                       if s.interprocedural))
 
-        merged = self._combine(selections)
-        if not merged:
+        with tracer.span("scheduling") as sp:
+            selections: List[Tuple[RegionSlice, str]] = []
+            for uid, (func_name, block_label, instr,
+                      program_slice) in slices.items():
+                selection = self._select_region(
+                    instr, func_name, block_label, program_slice,
+                    region_graph, depgraphs, profile, result.decisions)
+                if selection is not None:
+                    selections.append(selection)
+            merged = self._combine(selections)
+            scheduled_slices: List[ScheduledSlice] = []
+            live_in_hist = tracer.histogram("live_ins")
+            slack_hist = tracer.histogram("slack_per_iteration")
+            dropped_live_ins = 0
+            for region_slice, kind in merged:
+                scheduled = self._schedule(region_slice, kind,
+                                           region_graph, depgraphs)
+                if scheduled is None:
+                    continue
+                if len(scheduled.live_ins) > opts.max_live_ins:
+                    dropped_live_ins += 1
+                    continue
+                live_in_hist.observe(len(scheduled.live_ins))
+                slack_hist.observe(scheduled.slack_per_iteration)
+                scheduled_slices.append(scheduled)
+            sp.set(selections=len(selections), merged=len(merged),
+                   scheduled=len(scheduled_slices),
+                   dropped_live_ins=dropped_live_ins)
+        if not scheduled_slices:
             return result
 
-        emitter = SSPEmitter(program)
-        for region_slice, kind in merged:
-            scheduled = self._schedule(region_slice, kind, region_graph,
-                                       depgraphs)
-            if scheduled is None or \
-                    len(scheduled.live_ins) > opts.max_live_ins:
-                continue
-            triggers = place_triggers(program, scheduled, cfgs)
-            if not triggers:
-                continue
-            emitter.add_slice(scheduled, triggers)
-        if not emitter.records:
+        with tracer.span("triggers") as sp:
+            placements: List[Tuple[ScheduledSlice, list]] = []
+            total_triggers = 0
+            for scheduled in scheduled_slices:
+                triggers = place_triggers(program, scheduled, cfgs,
+                                          tracer=tracer)
+                if not triggers:
+                    continue
+                total_triggers += len(triggers)
+                placements.append((scheduled, triggers))
+            sp.set(slices_with_triggers=len(placements),
+                   triggers_placed=total_triggers)
+        if not placements:
             return result
-        result.adapted = emitter.finalize()
+
+        with tracer.span("codegen") as sp:
+            emitter = SSPEmitter(program, tracer=tracer)
+            for scheduled, triggers in placements:
+                emitter.add_slice(scheduled, triggers)
+            if emitter.records:
+                result.adapted = emitter.finalize()
+            sp.set(slices_emitted=len(emitter.records),
+                   emitted_instructions=sum(
+                       r.emitted_size for r in emitter.records))
         return result
 
     # -- helpers ---------------------------------------------------------------------
@@ -205,7 +268,7 @@ class SSPPostPassTool:
 
     def _select_region(self, load: Instruction, func_name: str,
                        block_label: str,
-                       slicer: ContextSensitiveSlicer,
+                       program_slice: ProgramSlice,
                        region_graph: RegionGraph,
                        depgraphs: Dict[str, DependenceGraph],
                        profile: ProgramProfile,
@@ -213,7 +276,6 @@ class SSPPostPassTool:
                        ) -> Optional[Tuple[RegionSlice, str]]:
         """Region-based traversal with the reduced-miss-cycle threshold."""
         opts = self.options
-        program_slice = slicer.slice_load_address(load, func_name)
         miss_cycles = profile.miss_cycles_of(load.uid)
         executions = max(1, profile.executions_of(load.uid))
         miss_per_iteration = miss_cycles / executions
@@ -268,11 +330,13 @@ class SSPPostPassTool:
         entries = max(1, region.entries or 1)
         trips = max(1.0, region.trip_count)
         out: List[Tuple[str, ScheduledSlice, float]] = []
-        basic = BasicScheduler().schedule(region_slice, region_uids)
+        basic = BasicScheduler(tracer=self.tracer).schedule(
+            region_slice, region_uids)
         out.append((BASIC, basic, entries * reduced_miss_cycles(
             basic.slack_per_iteration, trips, miss_per_iteration)))
         if region.kind == LOOP and not self.options.disable_chaining:
-            chain = ChainingScheduler().schedule(region_slice, region_uids)
+            chain = ChainingScheduler(tracer=self.tracer).schedule(
+                region_slice, region_uids)
             out.append((CHAINING, chain, entries * reduced_miss_cycles(
                 chain.slack_per_iteration, trips, miss_per_iteration)))
         return out
@@ -314,5 +378,7 @@ class SSPPostPassTool:
                   ) -> Optional[ScheduledSlice]:
         region_uids = self._region_uids(region_slice.region, region_graph)
         if kind == CHAINING:
-            return ChainingScheduler().schedule(region_slice, region_uids)
-        return BasicScheduler().schedule(region_slice, region_uids)
+            return ChainingScheduler(tracer=self.tracer).schedule(
+                region_slice, region_uids)
+        return BasicScheduler(tracer=self.tracer).schedule(
+            region_slice, region_uids)

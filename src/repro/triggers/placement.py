@@ -31,6 +31,7 @@ from ..isa.program import Function, Program
 from ..analysis.cfg import CFG
 from ..analysis.dataflow import instruction_defs
 from ..analysis.regions import LOOP
+from ..obs.tracer import Tracer, ensure_tracer
 from ..scheduling.schedule import BASIC, CHAINING, ScheduledSlice
 
 
@@ -106,8 +107,10 @@ def _hoisted_placement(func: Function, cfg: CFG, start_label: str,
 
 
 def place_triggers(program: Program, scheduled: ScheduledSlice,
-                   cfgs: Dict[str, CFG]) -> List[TriggerPoint]:
+                   cfgs: Dict[str, CFG],
+                   tracer: Optional[Tracer] = None) -> List[TriggerPoint]:
     """Trigger points for one scheduled slice."""
+    tracer = ensure_tracer(tracer)
     region = scheduled.region_slice.region
     func = program.function(region.function)
     cfg = cfgs[region.function]
@@ -119,14 +122,25 @@ def place_triggers(program: Program, scheduled: ScheduledSlice,
                        if p not in region.blocks]
         if not entry_preds:
             entry_preds = [func.entry.label]
-        points = {_hoisted_placement(func, cfg, pred, live_ins)
-                  for pred in set(entry_preds)}
-        return sorted(points, key=lambda p: (p.block, p.index))
-
-    if region.kind == LOOP and scheduled.kind == BASIC:
+        points = sorted({_hoisted_placement(func, cfg, pred, live_ins)
+                         for pred in set(entry_preds)},
+                        key=lambda p: (p.block, p.index))
+        policy = "loop-entry-cut"
+    elif region.kind == LOOP and scheduled.kind == BASIC:
         # Per-iteration trigger at the loop header (live-in carried values
         # are available at the top of every iteration).
-        return [TriggerPoint(func.name, region.loop.header, 0)]
+        points = [TriggerPoint(func.name, region.loop.header, 0)]
+        policy = "loop-header"
+    else:
+        # Procedure region: after the last live-in producer in the entry
+        # block.
+        points = [_place_in_block(func, func.entry.label, live_ins)]
+        policy = "procedure-entry"
 
-    # Procedure region: after the last live-in producer in the entry block.
-    return [_place_in_block(func, func.entry.label, live_ins)]
+    tracer.counter("triggers.placed").add(len(points))
+    for point in points:
+        tracer.event("trigger_point", category="triggers",
+                     load_uid=scheduled.region_slice.load.uid,
+                     function=point.function, block=point.block,
+                     index=point.index, policy=policy)
+    return points
