@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..guard import faultinject
 from ..isa import registers as regs
 from ..isa.instructions import Instruction
 from ..isa.program import Function, Program
@@ -260,6 +261,11 @@ class SSPEmitter:
                 emitted += 1
                 self.tracer.counter(
                     "codegen.context_substituted_prefetches").add()
+
+        if faultinject.fires("codegen.invalid_program"):
+            # Chaos harness: a store inside a p-slice violates the core
+            # invariant and must be caught by validation, never shipped.
+            append(Instruction(op="st", srcs=(regs.ZERO, regs.ZERO)))
 
         append(Instruction(op="kill"))
         return emitted

@@ -19,8 +19,12 @@ finalise time) can prove an adapted binary is well formed:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
+from ..guard import faultinject
+from ..isa.interp import ExecutionError, ThreadState, execute, spawn_thread
+from ..isa.memory import Heap
 from ..isa.program import Program
 
 STUB_PREFIX = ".ssp_stub"
@@ -144,3 +148,216 @@ def is_well_formed(program: Program) -> bool:
         return True
     except VerificationError:
         return False
+
+
+# -- differential (semantic-equivalence) verification ---------------------------------
+#
+# Structural invariants prove the adapted binary is *well formed*; they do
+# not prove it computes the same thing.  The differential check runs the
+# original and the adapted programs functionally and compares the main
+# thread's architectural outcome (registers, predicates, halted state) and
+# the final heap.  Speculative work must be architecturally invisible, so
+# any divergence means the adaptation is unsound and must be rolled back.
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of :func:`differential_check`."""
+
+    equivalent: bool
+    reason: str = ""
+    #: Function the mismatch was attributed to (None = unknown → whole-
+    #: binary rollback).
+    function: Optional[str] = None
+    #: First few heap mismatches as (addr, original, adapted).
+    heap_mismatches: List[tuple] = field(default_factory=list)
+    spawned_threads: int = 0
+    killed_by_budget: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "equivalent": self.equivalent,
+            "reason": self.reason,
+            "function": self.function,
+            "heap_mismatches": [list(m) for m in self.heap_mismatches],
+            "spawned_threads": self.spawned_threads,
+            "killed_by_budget": self.killed_by_budget,
+        }
+
+
+class ShadowInterpreter:
+    """Functional execution that *forces* speculation to happen.
+
+    The plain :class:`~repro.isa.interp.FunctionalInterpreter` never fires
+    ``chk.c`` and drops spawns, so a corrupted p-slice would be invisible
+    to it.  The shadow interpreter fires each ``chk.c`` site up to
+    ``fire_limit`` times and eagerly runs every spawned speculative thread
+    to completion (with a per-thread step budget and a chain cap, both of
+    which *silently* kill the thread — mirroring the hardware containment
+    the paper relies on).  What it surfaces as errors is exactly what would
+    corrupt the main program: a speculative store, or main-thread state
+    that diverges from the unadapted run.
+    """
+
+    def __init__(self, program: Program, heap: Heap, *,
+                 fire_limit: int = 8, spec_step_budget: int = 4096,
+                 max_chained: int = 4096, max_steps: int = 50_000_000):
+        if not program.finalized:
+            program.finalize()
+        self.program = program
+        self.heap = heap
+        self.fire_limit = fire_limit
+        self.spec_step_budget = spec_step_budget
+        self.max_chained = max_chained
+        self.max_steps = max_steps
+        self.spawned_threads = 0
+        self.killed_by_budget = 0
+        self._next_tid = 1
+        self._chk_fires: Dict[int, int] = {}
+
+    def run(self) -> ThreadState:
+        program = self.program
+        state = ThreadState(tid=0,
+                            pc=program.function_entry[program.entry])
+        code = program.code
+        steps = 0
+        while not state.done:
+            if steps >= self.max_steps:
+                raise ExecutionError(
+                    f"exceeded {self.max_steps} steps; infinite loop?")
+            instr = code[state.pc]
+            fires = False
+            if instr.op == "chk.c":
+                fired = self._chk_fires.get(state.pc, 0)
+                if fired < self.fire_limit:
+                    self._chk_fires[state.pc] = fired + 1
+                    fires = True
+            result = execute(program, self.heap, state, instr,
+                             chk_fires=fires)
+            if result.spawn_target is not None:
+                home = program.function_of_index[state.pc]
+                self._run_speculative(state, result.spawn_target, home)
+            steps += 1
+        return state
+
+    def _run_speculative(self, parent: ThreadState, target_pc: int,
+                         home: str) -> None:
+        """Eagerly run one speculative thread (and any chains it spawns)."""
+        chained = 0
+        pending = [spawn_thread(parent, self._tid(), target_pc)]
+        while pending:
+            child = pending.pop()
+            self.spawned_threads += 1
+            steps = 0
+            while not child.done:
+                if steps >= self.spec_step_budget:
+                    self.killed_by_budget += 1
+                    break  # silent containment kill, not an error
+                instr = self.program.code[child.pc]
+                try:
+                    result = execute(self.program, self.heap, child, instr)
+                except ExecutionError as exc:
+                    raise SpeculativeEffectError(str(exc), function=home) \
+                        from exc
+                if result.spawn_target is not None:
+                    chained += 1
+                    if chained <= self.max_chained:
+                        pending.append(spawn_thread(
+                            child, self._tid(), result.spawn_target))
+                    # past the cap: silently drop the chain spawn
+                steps += 1
+
+    def _tid(self) -> int:
+        self._next_tid += 1
+        return self._next_tid
+
+
+class SpeculativeEffectError(ExecutionError):
+    """A speculative thread had an architectural effect (e.g. a store)."""
+
+    def __init__(self, message: str, function: Optional[str] = None):
+        super().__init__(message)
+        self.function = function
+
+
+def _architectural_outcome(state: ThreadState) -> Dict[str, Any]:
+    """Comparable view of a final main-thread state.
+
+    Zero registers / false predicates are dropped because absent entries
+    read as 0 / False; the live-in staging buffer is excluded — it is
+    microarchitectural and legitimately differs once stubs run.
+    """
+    return {
+        "regs": {r: v for r, v in state.regs.items() if v != 0},
+        "preds": {p: v for p, v in state.preds.items() if v},
+        "halted": state.halted,
+    }
+
+
+def differential_check(original: Program, adapted: Program,
+                       heap_factory: Callable[[], Heap], *,
+                       fire_limit: int = 8,
+                       spec_step_budget: int = 4096,
+                       max_chained: int = 4096) -> DifferentialReport:
+    """Compare main-thread architectural outcomes of the two programs.
+
+    Both run under the :class:`ShadowInterpreter` on freshly built heaps;
+    the adapted run has every ``chk.c`` forced to fire, so p-slices really
+    execute.  Any speculative store, interpreter failure in the adapted
+    run, or divergence of registers / predicates / final heap yields a
+    non-equivalent report naming the culprit function when known.
+    """
+    ref = ShadowInterpreter(original, heap_factory(),
+                            fire_limit=fire_limit,
+                            spec_step_budget=spec_step_budget,
+                            max_chained=max_chained)
+    ref_state = ref.run()
+    shadow = ShadowInterpreter(adapted, heap_factory(),
+                               fire_limit=fire_limit,
+                               spec_step_budget=spec_step_budget,
+                               max_chained=max_chained)
+    try:
+        adapted_state = shadow.run()
+    except SpeculativeEffectError as exc:
+        return DifferentialReport(
+            equivalent=False,
+            reason=f"speculative architectural effect: {exc}",
+            function=exc.function,
+            spawned_threads=shadow.spawned_threads,
+            killed_by_budget=shadow.killed_by_budget)
+    except ExecutionError as exc:
+        return DifferentialReport(
+            equivalent=False,
+            reason=f"adapted program failed to execute: {exc}",
+            spawned_threads=shadow.spawned_threads,
+            killed_by_budget=shadow.killed_by_budget)
+
+    if faultinject.fires("verify.mismatch"):
+        return DifferentialReport(
+            equivalent=False,
+            reason="injected fault at site 'verify.mismatch'",
+            spawned_threads=shadow.spawned_threads,
+            killed_by_budget=shadow.killed_by_budget)
+
+    mismatches = ref.heap.diff(shadow.heap)
+    if mismatches:
+        return DifferentialReport(
+            equivalent=False,
+            reason=f"final heap differs at {len(mismatches)}+ words "
+                   f"(first at {mismatches[0][0]:#x})",
+            heap_mismatches=mismatches,
+            spawned_threads=shadow.spawned_threads,
+            killed_by_budget=shadow.killed_by_budget)
+    ref_out = _architectural_outcome(ref_state)
+    adapted_out = _architectural_outcome(adapted_state)
+    if ref_out != adapted_out:
+        keys = [k for k in ref_out if ref_out[k] != adapted_out[k]]
+        return DifferentialReport(
+            equivalent=False,
+            reason=f"main-thread state differs: {', '.join(keys)}",
+            spawned_threads=shadow.spawned_threads,
+            killed_by_budget=shadow.killed_by_budget)
+    return DifferentialReport(
+        equivalent=True,
+        spawned_threads=shadow.spawned_threads,
+        killed_by_budget=shadow.killed_by_budget)

@@ -1,0 +1,42 @@
+"""Fault isolation, rollback, and fault injection for the post-pass pipeline.
+
+``repro.guard`` makes the pipeline fail *soft*: a broken slice costs one
+delinquent load, a bad adaptation rolls back to the original binary, and
+every degradation path can be forced deterministically via
+:mod:`repro.guard.faultinject` for chaos testing.
+"""
+
+from .boundary import Boundary, recovery_boundary
+from .errors import (
+    ABORT,
+    DROP_LOAD,
+    DROP_SLICE,
+    ERROR,
+    FATAL,
+    ROLLBACK,
+    WARNING,
+    CodegenError,
+    Diagnostic,
+    GuardError,
+    GuardReport,
+    ScheduleError,
+    SliceError,
+    STAGE_ERRORS,
+    VerifyError,
+)
+from .faultinject import (
+    SITES,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    describe_sites,
+    injecting,
+)
+
+__all__ = [
+    "ABORT", "DROP_LOAD", "DROP_SLICE", "ERROR", "FATAL", "ROLLBACK",
+    "WARNING", "Boundary", "CodegenError", "Diagnostic", "FaultInjector",
+    "FaultSpec", "GuardError", "GuardReport", "InjectedFault",
+    "ScheduleError", "SliceError", "STAGE_ERRORS", "SITES", "VerifyError",
+    "describe_sites", "injecting", "recovery_boundary",
+]

@@ -1,0 +1,86 @@
+"""Per-load / per-slice recovery boundaries for the guarded pipeline.
+
+A :class:`recovery_boundary` wraps one unit of pipeline work (slicing one
+load, scheduling one slice, emitting one slice...).  If the body raises, the
+exception is converted to the stage's typed :class:`~repro.guard.errors.
+GuardError`, recorded as a structured :class:`~repro.guard.errors.
+Diagnostic` on the run's :class:`~repro.guard.errors.GuardReport`, emitted
+to the observability tracer as a ``guard.failure`` event plus a
+``guard.failed.<stage>`` counter — and then *swallowed*, so the failure
+costs one load or slice instead of the whole adaptation.
+
+``KeyboardInterrupt``/``SystemExit`` (and anything listed in
+``propagate``) always pass through: the boundary isolates pipeline faults,
+not operator intent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+from ..obs.tracer import NULL_TRACER
+from .errors import (
+    Diagnostic,
+    GuardError,
+    GuardReport,
+    STAGE_ERRORS,
+)
+
+
+class Boundary:
+    """Outcome handle the ``with`` statement binds; inspect after exit."""
+
+    __slots__ = ("error",)
+
+    def __init__(self) -> None:
+        self.error: Optional[GuardError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class recovery_boundary:
+    """Context manager isolating one unit of guarded pipeline work."""
+
+    def __init__(self, report: GuardReport, stage: str, *,
+                 tracer=NULL_TRACER,
+                 load_uid: Optional[int] = None,
+                 function: Optional[str] = None,
+                 propagate: Tuple[Type[BaseException], ...] = ()):
+        self.report = report
+        self.stage = stage
+        self.tracer = tracer
+        self.load_uid = load_uid
+        self.function = function
+        self.propagate = (KeyboardInterrupt, SystemExit) + tuple(propagate)
+        self.outcome = Boundary()
+
+    def __enter__(self) -> Boundary:
+        return self.outcome
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is None:
+            return False
+        if isinstance(exc, self.propagate):
+            return False
+        if isinstance(exc, GuardError):
+            guard_exc = exc
+        else:
+            error_cls = STAGE_ERRORS.get(self.stage, GuardError)
+            guard_exc = error_cls(f"{type(exc).__name__}: {exc}", cause=exc)
+        if guard_exc.load_uid is None:
+            guard_exc.load_uid = self.load_uid
+        if guard_exc.function is None:
+            guard_exc.function = self.function
+        diagnostic = Diagnostic.from_error(guard_exc)
+        # The boundary may wrap a stage the error class does not name
+        # (e.g. a CodegenError raised during trigger placement): report
+        # under the stage that actually failed.
+        diagnostic.stage = self.stage
+        self.report.record(diagnostic)
+        self.tracer.event("guard.failure", category="guard",
+                          **diagnostic.to_dict())
+        self.tracer.counter(f"guard.failed.{self.stage}").add()
+        self.outcome.error = guard_exc
+        return True

@@ -9,7 +9,7 @@ defines (Itanium ``ld8``/``st8``).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 
 class MemoryError_(Exception):
@@ -76,6 +76,26 @@ class Heap:
     def store(self, addr: int, value: int) -> None:
         """Write the 64-bit word at ``addr``."""
         self._words[self._index(addr)] = value
+
+    def diff(self, other: "Heap", limit: int = 8
+             ) -> List[Tuple[int, int, int]]:
+        """First ``limit`` word mismatches vs ``other``: (addr, self, other).
+
+        The differential verifier uses this to prove an adapted binary's
+        memory effects match the original's.  A size mismatch is reported
+        as one final entry carrying the two word counts.
+        """
+        out: List[Tuple[int, int, int]] = []
+        n = min(len(self._words), len(other._words))
+        for idx in range(n):
+            if self._words[idx] != other._words[idx]:
+                out.append((idx * WORD, self._words[idx],
+                            other._words[idx]))
+                if len(out) >= limit:
+                    return out
+        if len(self._words) != len(other._words):
+            out.append((n * WORD, len(self._words), len(other._words)))
+        return out
 
     def valid(self, addr: int) -> bool:
         """True if ``addr`` is a mapped, aligned word address.

@@ -91,6 +91,7 @@ def collect_metrics(workload: str, scale: str, model: str,
         doc["slices"] = slice_rows(tool_result)
         doc["delinquent_loads"] = delinquent_rows(tool_result, stats,
                                                   profile)
+        doc["guard"] = tool_result.guard.to_dict()
     if stats is not None:
         sim: Dict[str, Any] = {
             "cycles": stats.cycles,
@@ -101,6 +102,7 @@ def collect_metrics(workload: str, scale: str, model: str,
             "chk_fired": stats.chk_fired,
             "chk_ignored": stats.chk_ignored,
             "threads_completed": stats.threads_completed,
+            "budget_kills": stats.budget_kills,
             "prefetches_issued": stats.memory.prefetches_issued,
             "prefetches_dropped": stats.memory.prefetches_dropped,
             "cycle_breakdown": dict(stats.cycle_breakdown),

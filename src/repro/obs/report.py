@@ -93,6 +93,19 @@ def render_report(metrics: Dict[str, Any]) -> str:
             ["load", "accesses", "L1 misses", "prefetches", "coverage",
              "accuracy", "timeliness"], rows))
 
+    guard = metrics.get("guard")
+    if guard and (guard.get("degraded") or guard.get("diagnostics")):
+        lines.append("")
+        lines.append(f"guard: adapted={guard['adapted_loads']} "
+                     f"skipped={guard['skipped_loads']} "
+                     f"failed={guard['failed_loads']}"
+                     + (f"  rollbacks={len(guard['rollbacks'])}"
+                        if guard.get("rollbacks") else ""))
+        for diag in guard.get("diagnostics", []):
+            where = diag.get("function") or "-"
+            lines.append(f"  [{diag['severity']}] {diag['stage']} "
+                         f"({where}): {diag['message']}")
+
     sim = metrics.get("sim")
     if sim:
         lines.append("")

@@ -23,7 +23,12 @@ import time
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..guard import faultinject
 from .spec import RunSpec
+
+#: Suffix bad cache entries are quarantined under (kept for post-mortems,
+#: invisible to lookups and occupancy stats).
+QUARANTINE_SUFFIX = ".bad"
 
 #: Cache format version; bump to invalidate all generations at once.
 CACHE_FORMAT = 1
@@ -79,18 +84,46 @@ class ResultCache:
     def get(self, spec: RunSpec) -> Optional[Dict]:
         """The stored entry for ``spec`` (current generation), or None.
 
-        Corrupt entries (interrupted writes, manual edits) are dropped and
-        treated as misses rather than propagated.
+        A corrupt or truncated entry (interrupted write, disk fault,
+        manual edit) is treated as a miss: the bad file is quarantined to
+        ``<hash>.json.bad`` for post-mortems and the caller re-simulates.
+        Lookups never raise.
         """
         path = self._path(spec)
+        self._maybe_inject_corruption(path)
+        if not path.exists():
+            return None
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+            self._quarantine(path, "undecodable JSON")
             return None
         if not isinstance(entry, dict) or "stats" not in entry:
+            self._quarantine(path, "entry missing 'stats'")
             return None
         return entry
+
+    def _quarantine(self, path: Path, reason: str) -> Optional[Path]:
+        """Move a bad entry aside so the next run re-simulates it."""
+        bad = path.with_name(path.name + QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, bad)
+        except OSError:  # pragma: no cover - racing delete
+            return None
+        return bad
+
+    def _maybe_inject_corruption(self, path: Path) -> None:
+        """Chaos harness: damage an existing entry just before the read."""
+        if faultinject.active() is None or not path.exists():
+            return
+        if faultinject.fires("cache.corrupt"):
+            path.write_bytes(b"\x00garbage{not json")
+        elif faultinject.fires("cache.truncate"):
+            data = path.read_bytes()
+            path.write_bytes(data[:len(data) // 2])
 
     def put(self, spec: RunSpec, stats_dict: Dict,
             wall_time: float = 0.0,
@@ -133,6 +166,8 @@ class ResultCache:
                 "current": gen.name == self.salt,
                 "entries": len(entries),
                 "bytes": size,
+                "quarantined": len(list(
+                    gen.glob("*.json" + QUARANTINE_SUFFIX))),
             })
             total_entries += len(entries)
             total_bytes += size
@@ -154,9 +189,10 @@ class ResultCache:
         for gen in self._generations():
             if stale_only and gen.name == self.salt:
                 continue
-            for path in gen.glob("*.json"):
-                path.unlink()
-                removed += 1
+            for pattern in ("*.json", "*.json" + QUARANTINE_SUFFIX):
+                for path in gen.glob(pattern):
+                    path.unlink()
+                    removed += 1
             try:
                 gen.rmdir()
             except OSError:  # pragma: no cover - non-cache files present

@@ -19,6 +19,7 @@ import dataclasses
 import time
 from typing import Any, Dict, Optional, Tuple
 
+from ..guard import faultinject
 from ..obs.tracer import NULL_TRACER
 from ..profiling.collect import collect_profile
 from ..profiling.profile import ProgramProfile
@@ -68,7 +69,11 @@ class WorkloadArtifacts:
     def tool_result(self) -> ToolResult:
         if self._tool_result is None:
             tool = SSPPostPassTool(self.tool_options, tracer=self.tracer)
-            self._tool_result = tool.adapt(self.program, self.profile)
+            # The heap factory enables the differential verify stage
+            # (semantic-equivalence rollback) inside the tool.
+            self._tool_result = tool.adapt(
+                self.program, self.profile,
+                heap_factory=self.workload.build_heap)
         return self._tool_result
 
     @property
@@ -87,7 +92,13 @@ class WorkloadArtifacts:
     def run_inputs(self, variant: str):
         """(program, heap-building workload) for one variant."""
         if variant == "ssp":
-            return self.tool_result.program, self.workload
+            result = self.tool_result
+            if result.adapted is None:
+                # Adaptation degraded to a no-op (guard drops/rollback):
+                # run the unadapted binary — never worse than no
+                # adaptation, never an exception.
+                return self.program, self.workload
+            return result.adapted.program, self.workload
         if variant == "hand":
             return self.hand_workload.build_program(), self.hand_workload
         return self.program, self.workload
@@ -139,6 +150,13 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
     the result cache without re-serialisation.
     """
     started = time.perf_counter()
+    # Chaos sites: a worker that dies before doing any work, and a worker
+    # that hangs long enough to surface as a timeout.  Both propagate to
+    # the runner, which records the failure on the RunResult and moves on.
+    faultinject.check("runner.worker_crash")
+    if faultinject.fires("runner.worker_timeout"):
+        time.sleep(0.05)
+        raise TimeoutError("injected fault at site 'runner.worker_timeout'")
     artifacts = artifacts_for(spec)
     program, heap_workload = artifacts.run_inputs(spec.variant)
     heap = heap_workload.build_heap()

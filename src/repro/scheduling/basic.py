@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from ..analysis.depgraph import FLOW
+from ..guard import faultinject
 from ..obs.tracer import Tracer, ensure_tracer
 from ..slicing.regional import RegionSlice
 from .chaining import (
@@ -91,6 +92,8 @@ class BasicScheduler:
         h_region = region_height(dg, region_uids)
         h_slice = dg.max_height(emit_uids, within=emit_uids)
         per_iter = slack_bsp_per_iteration(h_region, h_slice)
+        if faultinject.fires("schedule.negative_slack"):
+            per_iter = -abs(per_iter) - 1.0
 
         self.tracer.counter("scheduler.basic_schedules").add()
         self.tracer.event("schedule", category="scheduling", kind="basic",

@@ -16,6 +16,7 @@ from typing import List, Optional, Set
 
 from ..isa.instructions import Instruction
 from ..analysis.depgraph import FLOW, DependenceGraph
+from ..guard import faultinject
 from ..obs.tracer import Tracer, ensure_tracer
 from ..slicing.regional import RegionSlice
 from .listsched import list_schedule
@@ -249,6 +250,8 @@ class ChainingScheduler:
         h_slice = dg.max_height(emit_uids, within=emit_uids)
         per_iter = slack_csp_per_iteration(h_region, h_critical,
                                            len(live_ins))
+        if faultinject.fires("schedule.negative_slack"):
+            per_iter = -abs(per_iter) - 1.0
 
         self.tracer.counter("scheduler.chaining_schedules").add()
         if guard is not None:

@@ -82,6 +82,15 @@ class MachineConfig:
     chk_flush_penalty: int = 12
     spawn_startup_latency: int = 4
 
+    # Runaway-slice containment: hard budgets for *speculative* contexts.
+    # A speculative thread that issues more than spec_instruction_budget
+    # instructions, or occupies its context longer than spec_cycle_budget
+    # cycles, is killed (counted in SimStats.budget_kills) — a buggy
+    # chaining slice cannot spin forever.  The main thread is never
+    # budgeted.  0 disables a budget.
+    spec_instruction_budget: int = 1_000_000
+    spec_cycle_budget: int = 0
+
     # Experiment knobs (Figure 2): a perfect memory subsystem, or perfect
     # behaviour for a designated set of delinquent loads.
     perfect_memory: bool = False

@@ -39,10 +39,15 @@ class HWThread:
     """Timing state of one occupied hardware thread context."""
 
     __slots__ = ("state", "reg_ready", "reg_level", "stall_until", "wake",
-                 "spawn_parked_pc")
+                 "spawn_parked_pc", "spec_issued", "spawn_cycle")
 
     def __init__(self, state: ThreadState, start_cycle: int = 0):
         self.state = state
+        #: Instructions issued by this (speculative) context, for the
+        #: runaway-slice containment budget.
+        self.spec_issued = 0
+        #: Cycle the context was allocated, for the cycle budget.
+        self.spawn_cycle = start_cycle
         #: register name -> cycle its value becomes available.
         self.reg_ready: Dict[str, int] = {}
         #: register name -> cache level that supplied it (loads only).
@@ -167,6 +172,15 @@ class InOrderSimulator:
         issued = 0
 
         while issued < budget:
+            # Runaway-slice containment: a speculative context that has
+            # exhausted its instruction budget is killed on the spot.
+            if not is_main:
+                limit = config.spec_instruction_budget
+                if limit and thread.spec_issued >= limit:
+                    state.killed = True
+                    self.stats.budget_kills += 1
+                    break
+
             instr = code[state.pc]
             op = instr.op
 
@@ -226,6 +240,7 @@ class InOrderSimulator:
                 self.stats.main_instructions += 1
             else:
                 self.stats.spec_instructions += 1
+                thread.spec_issued += 1
 
             # -- latency & side effects per class ---------------------------------
             if op == "ld":
@@ -364,8 +379,15 @@ class InOrderSimulator:
 
             # Reap finished speculative threads; wake any chain spawner
             # that was parked waiting for a context.
+            cycle_budget = config.spec_cycle_budget
             for slot in range(1, config.hardware_contexts):
                 ctx = self.contexts[slot]
+                if (ctx is not None and cycle_budget
+                        and not ctx.state.done
+                        and now - ctx.spawn_cycle >= cycle_budget):
+                    # Containment: the context outlived its cycle budget.
+                    ctx.state.killed = True
+                    stats.budget_kills += 1
                 if ctx is not None and ctx.state.done:
                     self.contexts[slot] = None
                     stats.threads_completed += 1

@@ -49,12 +49,17 @@ class _OOOThread:
 
     __slots__ = ("state", "fetch_cycle", "reg_complete", "reg_level",
                  "retire_ring", "start_ring", "last_retire", "retire_count",
-                 "spawn_retries")
+                 "spawn_retries", "spec_issued", "spawn_cycle")
 
     def __init__(self, state: ThreadState, start_cycle: int,
                  rob: int, rs: int):
         self.state = state
         self.fetch_cycle = start_cycle
+        #: Instructions fetched by this (speculative) context, for the
+        #: runaway-slice containment budget.
+        self.spec_issued = 0
+        #: Cycle the context was allocated, for the cycle budget.
+        self.spawn_cycle = start_cycle
         #: register -> completion cycle of its producer.
         self.reg_complete: Dict[str, int] = {}
         self.reg_level: Dict[str, Optional[str]] = {}
@@ -192,6 +197,13 @@ class OOOSimulator:
             if pops % 50_000 == 0:
                 self._prune_pools(fetch)
             state = thread.state
+            if (state.tid != 0 and not state.done
+                    and config.spec_cycle_budget
+                    and fetch - thread.spawn_cycle
+                    >= config.spec_cycle_budget):
+                # Containment: the context outlived its cycle budget.
+                state.killed = True
+                stats.budget_kills += 1
             if state.done:
                 self._live_threads -= 1
                 continue
@@ -225,6 +237,15 @@ class OOOSimulator:
                     thread.spawn_retries += 1
                     next_fetch = fetch + 16
                     break
+
+                # Runaway-slice containment: instruction budget.
+                if state.tid != 0:
+                    limit = config.spec_instruction_budget
+                    if limit and thread.spec_issued >= limit:
+                        state.killed = True
+                        stats.budget_kills += 1
+                        break
+                    thread.spec_issued += 1
 
                 chk_fires = False
                 if instr.op == "chk.c":

@@ -30,7 +30,7 @@ CYCLE_CATEGORIES = ("L3", "L2", "L1", "CacheExec", "Exec", "Other")
 _SCALAR_FIELDS = (
     "cycles", "main_instructions", "spec_instructions",
     "chk_fired", "chk_ignored", "spawns", "spawn_failures", "spawn_waits",
-    "threads_completed", "mispredicts",
+    "threads_completed", "mispredicts", "budget_kills",
 )
 
 #: Memory-system counters carried through serialisation (cache/TLB *state*
@@ -60,6 +60,9 @@ class SimStats:
         self.spawn_waits = 0
         self.threads_completed = 0
         self.mispredicts = 0
+        #: Speculative threads killed by the runaway-slice containment
+        #: budgets (spec_instruction_budget / spec_cycle_budget).
+        self.budget_kills = 0
 
     # -- derived metrics ---------------------------------------------------------
 
@@ -223,7 +226,8 @@ class SimStats:
 
         stats = cls(MemorySystem(MachineConfig()))
         for name in _SCALAR_FIELDS:
-            setattr(stats, name, data[name])
+            # .get: snapshots from before a counter existed read as 0.
+            setattr(stats, name, data.get(name, 0))
         stats.cycle_breakdown = {cat: data["cycle_breakdown"].get(cat, 0)
                                  for cat in CYCLE_CATEGORIES}
         mem_data = data["memory"]

@@ -33,6 +33,7 @@ from ..isa.instructions import Instruction
 from ..isa.program import Program
 from ..analysis.callgraph import CallGraph
 from ..analysis.depgraph import CONTROL, FLOW, DependenceGraph
+from ..guard import faultinject
 from ..obs.tracer import Tracer, ensure_tracer
 
 
@@ -132,6 +133,7 @@ class ContextSensitiveSlicer:
     def slice_load_address(self, load: Instruction,
                            function: str) -> ProgramSlice:
         """Backward slice of the address operand of ``load``."""
+        faultinject.check("slice.exception")
         result = ProgramSlice(load, function)
         dg = self.depgraphs[function]
         seeds = self._address_seed_edges(load, dg)

@@ -21,6 +21,14 @@ log plus a Perfetto-loadable Chrome trace next to it, ``--metrics-json``
 a structured metrics document, ``--gantt`` the ASCII context-occupancy
 chart, and ``--telemetry-json`` the runner's cache/wall-time summary; the
 ``report`` subcommand renders a human-readable observability report.
+
+Robustness (:mod:`repro.guard`): every run prints a one-line guard
+summary; exit codes distinguish success (0) from tool/simulation failure
+(1), usage errors (2), a degraded adaptation — some delinquent loads
+dropped by fault isolation — (3), and a semantic-equivalence rollback
+(4).  ``--inject SITE[:PROB[:TIMES]]`` (with ``--inject-seed``) arms the
+deterministic fault-injection harness; ``--inject list`` prints the
+sites.
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..guard import faultinject
+from ..guard.faultinject import FaultInjector, FaultSpec, describe_sites
 from ..obs import (
     NULL_TRACER,
     Tracer,
@@ -44,11 +54,31 @@ from ..obs import (
 from ..runner import (
     ResultCache,
     Runner,
+    RunnerError,
     RunSpec,
     WorkloadArtifacts,
     artifacts_for,
 )
 from ..workloads import PAPER_ORDER, workload_names
+
+#: Exit codes.  0/1/2 keep their conventional meanings; 3 and 4 let
+#: scripts distinguish a run that *succeeded but degraded* (some loads
+#: dropped by the guard) from one where the semantic-equivalence check
+#: rolled the adaptation back.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+EXIT_ROLLED_BACK = 4
+
+
+def _guard_exit_code(guard, base: int) -> int:
+    """Fold the guard report into the exit code (rollback > degraded)."""
+    if guard.rolled_back:
+        return EXIT_ROLLED_BACK
+    if guard.degraded:
+        return EXIT_DEGRADED
+    return base
 
 
 def _make_runner(args) -> Runner:
@@ -111,9 +141,11 @@ def _adapt_and_report(name: str, scale: str, model: str,
               f"{decision.slack_per_iteration:.1f} reduced="
               f"{decision.reduced_miss_cycles:.0f} "
               f"threshold={decision.threshold:.0f}")
+    guard = result.guard
+    print(f"      [guard] {guard.summary()}")
     if result.adapted is None:
         print("      no slices generated")
-        return 1
+        return _guard_exit_code(guard, EXIT_FAILURE)
     row = result.table2_row()
     print(f"      slices={row['slices']:.0f} "
           f"interproc={row['interproc']:.0f} "
@@ -133,16 +165,20 @@ def _adapt_and_report(name: str, scale: str, model: str,
                 artifacts.workload.check_output(heap)
                 sp.set(cycles=stats.cycles, spawns=stats.spawns)
         else:
-            stats = runner.stats(ssp_spec)
+            try:
+                stats = runner.stats(ssp_spec)
+            except RunnerError as exc:
+                print(f"      simulation failed: {exc}", file=sys.stderr)
+                return _guard_exit_code(guard, EXIT_FAILURE)
         base = profile.baseline_cycles
     else:
         base_spec = RunSpec.create(name, scale=scale, model=model,
                                    variant="base")
         ssp_result, base_result = runner.run([ssp_spec, base_spec])
-        stats, base = ssp_result.stats, base_result.stats.cycles
-        if stats is None or base_result.stats is None:
+        if ssp_result.stats is None or base_result.stats is None:
             print("      simulation failed", file=sys.stderr)
-            return 1
+            return _guard_exit_code(guard, EXIT_FAILURE)
+        stats, base = ssp_result.stats, base_result.stats.cycles
     print(f"      {model} baseline: {base} cycles; SSP: {stats.cycles} "
           f"cycles; speedup {base / stats.cycles:.2f}x")
     print(f"      spawns={stats.spawns} chk fired/ignored="
@@ -178,7 +214,7 @@ def _adapt_and_report(name: str, scale: str, model: str,
     if show_disassembly:
         print()
         print(result.program.disassemble())
-    return 0
+    return _guard_exit_code(guard, EXIT_OK)
 
 
 def _run_experiments(names: List[str], scale: str, runner: Runner) -> int:
@@ -332,31 +368,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--telemetry-json", metavar="FILE",
                         help="write the runner's machine-readable "
                              "cache/wall-time summary to FILE")
+    parser.add_argument("--inject", action="append", default=None,
+                        metavar="SITE[:PROB[:TIMES]]",
+                        help="arm the fault-injection harness at SITE "
+                             "(repeatable; '--inject list' prints the "
+                             "site registry)")
+    parser.add_argument("--inject-seed", type=int, default=0, metavar="N",
+                        help="seed for the deterministic fault injector "
+                             "(default: 0)")
     args = parser.parse_args(argv)
 
     if args.list:
         for name in workload_names():
             marker = "*" if name in PAPER_ORDER else " "
             print(f" {marker} {name}")
-        return 0
-    runner = _make_runner(args)
-    if args.experiments:
-        code = _run_experiments(args.experiments, args.scale, runner)
-    elif not args.workload:
-        parser.print_usage()
-        return 2
-    else:
-        code = _adapt_and_report(args.workload, args.scale, args.model,
-                                 args.disassemble, runner,
-                                 trace=args.trace,
-                                 metrics_json=args.metrics_json,
-                                 gantt=args.gantt)
-    if args.telemetry_json:
-        with open(args.telemetry_json, "w", encoding="utf-8") as fh:
-            json.dump(runner.telemetry.to_dict(), fh, indent=2,
-                      sort_keys=True)
-        print(f"[runner] telemetry written to {args.telemetry_json}")
-    return code
+        return EXIT_OK
+    injector = None
+    if args.inject:
+        if "list" in args.inject:
+            for line in describe_sites():
+                print(line)
+            return EXIT_OK
+        try:
+            specs = [FaultSpec.parse(text) for text in args.inject]
+        except ValueError as exc:
+            print(f"--inject: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        injector = faultinject.install(
+            FaultInjector(specs, seed=args.inject_seed))
+    try:
+        runner = _make_runner(args)
+        if args.experiments:
+            code = _run_experiments(args.experiments, args.scale, runner)
+        elif not args.workload:
+            parser.print_usage()
+            return EXIT_USAGE
+        else:
+            code = _adapt_and_report(args.workload, args.scale, args.model,
+                                     args.disassemble, runner,
+                                     trace=args.trace,
+                                     metrics_json=args.metrics_json,
+                                     gantt=args.gantt)
+        if args.telemetry_json:
+            with open(args.telemetry_json, "w", encoding="utf-8") as fh:
+                json.dump(runner.telemetry.to_dict(), fh, indent=2,
+                          sort_keys=True)
+            print(f"[runner] telemetry written to {args.telemetry_json}")
+        return code
+    finally:
+        # An installed injector is process-global; never leak it past the
+        # invocation that armed it (tests call main() in-process).
+        if injector is not None:
+            faultinject.uninstall()
 
 
 if __name__ == "__main__":  # pragma: no cover

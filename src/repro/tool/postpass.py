@@ -17,16 +17,27 @@ Drives the full Figure 1 flow on a profiled binary:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..guard import (
+    DROP_LOAD,
+    ERROR,
+    ROLLBACK,
+    WARNING,
+    Diagnostic,
+    GuardReport,
+    recovery_boundary,
+)
 from ..isa.instructions import Instruction
 from ..isa.interp import LIB_SLOTS
+from ..isa.memory import Heap
 from ..isa.program import Program
 from ..analysis.callgraph import CallGraph
 from ..analysis.cfg import CFG
 from ..analysis.depgraph import DependenceGraph
 from ..analysis.regions import LOOP, Region, RegionGraph
 from ..codegen.emit import AdaptedBinary, SSPEmitter
+from ..codegen.verify import differential_check
 from ..profiling.delinquent import select_delinquent_loads
 from ..profiling.profile import ProgramProfile
 from ..scheduling.basic import BasicScheduler
@@ -68,6 +79,9 @@ class ToolOptions:
     #: the paper's claim that "long-range prefetching using chaining
     #: triggers is the key to high performance".
     disable_chaining: bool = False
+    #: Run the differential semantic-equivalence check on the adapted
+    #: binary (needs a heap factory) and roll back on mismatch.
+    differential_verify: bool = True
 
 
 @dataclass
@@ -91,6 +105,8 @@ class ToolResult:
     adapted: Optional[AdaptedBinary]
     delinquent_uids: List[int]
     decisions: List[RegionDecision] = field(default_factory=list)
+    #: Degradation ledger: diagnostics, rollbacks, per-load counts.
+    guard: GuardReport = field(default_factory=GuardReport)
 
     @property
     def program(self) -> Program:
@@ -129,16 +145,45 @@ class SSPPostPassTool:
 
     # -- the full flow -------------------------------------------------------------
 
-    def adapt(self, program: Program,
-              profile: ProgramProfile) -> ToolResult:
+    def adapt(self, program: Program, profile: ProgramProfile,
+              heap_factory: Optional[Callable[[], Heap]] = None
+              ) -> ToolResult:
         """Run the post-pass and return the adapted binary + trace.
 
         Each pipeline stage runs under a tracer span (profiling →
-        analysis → slicing → scheduling → triggers → codegen) recording
-        its wall time and Table-2 material metrics.
+        analysis → slicing → scheduling → triggers → codegen → verify)
+        recording its wall time and Table-2 material metrics.
+
+        The flow is *guarded*: every per-load / per-slice step runs
+        inside a recovery boundary, so a failure drops that load or
+        slice (with a structured diagnostic on ``result.guard``) instead
+        of aborting the run, and a semantic-equivalence mismatch rolls
+        the adaptation back.  ``adapt`` itself never raises for pipeline
+        faults — the worst outcome is a no-op adaptation.  The
+        differential verify stage needs ``heap_factory`` (a fresh heap
+        per functional run) and is skipped when it is not provided.
         """
+        report = GuardReport()
+        result = ToolResult(adapted=None, delinquent_uids=[],
+                            guard=report)
+        final: List[Tuple[ScheduledSlice, list]] = []
+        with recovery_boundary(report, "pipeline", tracer=self.tracer):
+            final = self._adapt_guarded(program, profile, heap_factory,
+                                        result)
+        self._account(report, result.delinquent_uids,
+                      final if result.adapted is not None else [])
+        if report.diagnostics or report.rollbacks:
+            self.tracer.event("guard.summary", category="guard",
+                              summary=report.summary())
+        return result
+
+    def _adapt_guarded(self, program: Program, profile: ProgramProfile,
+                       heap_factory: Optional[Callable[[], Heap]],
+                       result: ToolResult
+                       ) -> List[Tuple[ScheduledSlice, list]]:
         opts = self.options
         tracer = self.tracer
+        report = result.guard
         if not program.finalized:
             program.finalize()
 
@@ -149,9 +194,9 @@ class SSPPostPassTool:
             sp.set(delinquent_loads=len(delinquent),
                    delinquent_miss_cycles=sum(
                        profile.miss_cycles_of(uid) for uid in delinquent))
-        result = ToolResult(adapted=None, delinquent_uids=delinquent)
+        result.delinquent_uids = delinquent
         if not delinquent:
-            return result
+            return []
 
         with tracer.span("analysis") as sp:
             cfgs: Dict[str, CFG] = {}
@@ -185,71 +230,238 @@ class SSPPostPassTool:
                 func_name, block_label, instr = locate[uid]
                 if func_name not in depgraphs:
                     continue
-                program_slice = slicer.slice_load_address(instr, func_name)
-                slices[uid] = (func_name, block_label, instr,
-                               program_slice)
-                size_hist.observe(program_slice.size())
+                with recovery_boundary(report, "slicing", tracer=tracer,
+                                       load_uid=uid, function=func_name):
+                    program_slice = slicer.slice_load_address(instr,
+                                                              func_name)
+                    slices[uid] = (func_name, block_label, instr,
+                                   program_slice)
+                    size_hist.observe(program_slice.size())
             sp.set(slices=len(slices),
                    interprocedural=sum(
                        1 for _, _, _, s in slices.values()
-                       if s.interprocedural))
+                       if s.interprocedural),
+                   failed=len(report.failures_in("slicing")))
 
         with tracer.span("scheduling") as sp:
             selections: List[Tuple[RegionSlice, str]] = []
             for uid, (func_name, block_label, instr,
                       program_slice) in slices.items():
-                selection = self._select_region(
-                    instr, func_name, block_label, program_slice,
-                    region_graph, depgraphs, profile, result.decisions)
-                if selection is not None:
-                    selections.append(selection)
+                with recovery_boundary(report, "scheduling",
+                                       tracer=tracer, load_uid=uid,
+                                       function=func_name):
+                    selection = self._select_region(
+                        instr, func_name, block_label, program_slice,
+                        region_graph, depgraphs, profile,
+                        result.decisions)
+                    if selection is not None:
+                        selections.append(selection)
+                    else:
+                        self._note_negative_slack(
+                            report, result.decisions, uid, func_name)
             merged = self._combine(selections)
             scheduled_slices: List[ScheduledSlice] = []
             live_in_hist = tracer.histogram("live_ins")
             slack_hist = tracer.histogram("slack_per_iteration")
             dropped_live_ins = 0
             for region_slice, kind in merged:
-                scheduled = self._schedule(region_slice, kind,
-                                           region_graph, depgraphs)
-                if scheduled is None:
-                    continue
-                if len(scheduled.live_ins) > opts.max_live_ins:
-                    dropped_live_ins += 1
-                    continue
-                live_in_hist.observe(len(scheduled.live_ins))
-                slack_hist.observe(scheduled.slack_per_iteration)
-                scheduled_slices.append(scheduled)
+                with recovery_boundary(
+                        report, "scheduling", tracer=tracer,
+                        load_uid=region_slice.load.uid,
+                        function=region_slice.region.function):
+                    scheduled = self._schedule(region_slice, kind,
+                                               region_graph, depgraphs)
+                    if scheduled is None:
+                        continue
+                    if len(scheduled.live_ins) > opts.max_live_ins:
+                        dropped_live_ins += 1
+                        continue
+                    live_in_hist.observe(len(scheduled.live_ins))
+                    slack_hist.observe(scheduled.slack_per_iteration)
+                    scheduled_slices.append(scheduled)
             sp.set(selections=len(selections), merged=len(merged),
                    scheduled=len(scheduled_slices),
                    dropped_live_ins=dropped_live_ins)
         if not scheduled_slices:
-            return result
+            return []
 
         with tracer.span("triggers") as sp:
             placements: List[Tuple[ScheduledSlice, list]] = []
             total_triggers = 0
             for scheduled in scheduled_slices:
-                triggers = place_triggers(program, scheduled, cfgs,
-                                          tracer=tracer)
-                if not triggers:
-                    continue
-                total_triggers += len(triggers)
-                placements.append((scheduled, triggers))
+                with recovery_boundary(
+                        report, "triggers", tracer=tracer,
+                        load_uid=scheduled.load.uid,
+                        function=scheduled.region_slice.region.function):
+                    triggers = place_triggers(program, scheduled, cfgs,
+                                              tracer=tracer)
+                    if not triggers:
+                        continue
+                    total_triggers += len(triggers)
+                    placements.append((scheduled, triggers))
             sp.set(slices_with_triggers=len(placements),
                    triggers_placed=total_triggers)
         if not placements:
-            return result
+            return []
 
         with tracer.span("codegen") as sp:
-            emitter = SSPEmitter(program, tracer=tracer)
-            for scheduled, triggers in placements:
-                emitter.add_slice(scheduled, triggers)
-            if emitter.records:
-                result.adapted = emitter.finalize()
-            sp.set(slices_emitted=len(emitter.records),
+            adapted, emitted = self._emit_guarded(program, placements,
+                                                  report)
+            result.adapted = adapted
+            sp.set(slices_emitted=(len(adapted.records) if adapted
+                                   else 0),
                    emitted_instructions=sum(
-                       r.emitted_size for r in emitter.records))
-        return result
+                       r.emitted_size for r in (adapted.records
+                                                if adapted else [])),
+                   failed=len(report.failures_in("codegen")))
+
+        if result.adapted is not None and opts.differential_verify and \
+                heap_factory is not None:
+            with tracer.span("verify") as sp:
+                emitted = self._verify_and_rollback(
+                    program, emitted, result, heap_factory)
+                sp.set(rollbacks=len(report.rollbacks),
+                       equivalent=result.adapted is not None)
+        return emitted
+
+    # -- guarded codegen & verification ------------------------------------------------
+
+    def _emit_all(self, program: Program,
+                  placements: List[Tuple[ScheduledSlice, list]]
+                  ) -> Optional[AdaptedBinary]:
+        """One emission attempt from the pristine original program."""
+        emitter = SSPEmitter(program, tracer=self.tracer)
+        for scheduled, triggers in placements:
+            emitter.add_slice(scheduled, triggers)
+        if not emitter.records:
+            return None
+        return emitter.finalize()
+
+    def _emit_guarded(self, program: Program,
+                      placements: List[Tuple[ScheduledSlice, list]],
+                      report: GuardReport
+                      ) -> Tuple[Optional[AdaptedBinary],
+                                 List[Tuple[ScheduledSlice, list]]]:
+        """Emit all slices; on failure, isolate and drop the bad ones.
+
+        Emission always restarts from a fresh clone of the original
+        program, so dropping a slice can never leave half-applied edits
+        behind.
+        """
+        adapted: Optional[AdaptedBinary] = None
+        with recovery_boundary(report, "codegen",
+                               tracer=self.tracer) as b:
+            adapted = self._emit_all(program, placements)
+        if b.ok:
+            return adapted, list(placements)
+        survivors: List[Tuple[ScheduledSlice, list]] = []
+        for item in placements:
+            scheduled = item[0]
+            with recovery_boundary(
+                    report, "codegen", tracer=self.tracer,
+                    load_uid=scheduled.load.uid,
+                    function=scheduled.region_slice.region.function) as b:
+                self._emit_all(program, [item])
+            if b.ok:
+                survivors.append(item)
+        if not survivors:
+            return None, []
+        with recovery_boundary(report, "codegen",
+                               tracer=self.tracer) as b:
+            adapted = self._emit_all(program, survivors)
+        if b.ok:
+            return adapted, survivors
+        return None, []
+
+    def _verify_and_rollback(self, program: Program,
+                             placements: List[Tuple[ScheduledSlice,
+                                                    list]],
+                             result: ToolResult,
+                             heap_factory: Callable[[], Heap]
+                             ) -> List[Tuple[ScheduledSlice, list]]:
+        """Differential check + per-function rollback loop.
+
+        Re-emission always starts from the pristine original, so a
+        rolled-back function is byte-identical to the unadapted input by
+        construction.
+        """
+        report = result.guard
+        tracer = self.tracer
+        remaining = list(placements)
+        for _ in range(len(placements) + 1):
+            diff = differential_check(program, result.adapted.program,
+                                      heap_factory)
+            tracer.event("differential_check", category="verify",
+                         **diff.to_dict())
+            if diff.equivalent:
+                return remaining
+            culprit = diff.function
+            report.record(Diagnostic(
+                stage="verify", error="VerifyError", severity=ERROR,
+                policy=ROLLBACK, message=diff.reason, function=culprit))
+            tracer.counter("guard.failed.verify").add()
+            drop = [p for p in remaining
+                    if culprit is not None
+                    and p[0].region_slice.region.function == culprit]
+            if not drop:
+                # Unknown culprit (or nothing left to drop): whole-binary
+                # rollback.
+                report.record_rollback(None, diff.reason)
+                result.adapted = None
+                return []
+            report.record_rollback(culprit, diff.reason)
+            remaining = [p for p in remaining if p not in drop]
+            if not remaining:
+                result.adapted = None
+                return []
+            with recovery_boundary(report, "codegen",
+                                   tracer=tracer) as b:
+                result.adapted = self._emit_all(program, remaining)
+            if not b.ok or result.adapted is None:
+                report.record_rollback(
+                    None, "re-emission after rollback failed")
+                result.adapted = None
+                return []
+        report.record_rollback(None, "differential check kept failing")
+        result.adapted = None
+        return []
+
+    def _note_negative_slack(self, report: GuardReport,
+                             decisions: List[RegionDecision],
+                             uid: int, func_name: str) -> None:
+        """Record why a load was dropped when every candidate schedule
+        came back with negative slack (informational: the selection
+        heuristic already refuses such slices)."""
+        neg = [d for d in decisions
+               if d.load_uid == uid and d.slack_per_iteration < 0]
+        if not neg:
+            return
+        diagnostic = Diagnostic(
+            stage="scheduling", error="ScheduleError", severity=WARNING,
+            policy=DROP_LOAD,
+            message=("all candidate regions scheduled with negative "
+                     f"slack (min {min(d.slack_per_iteration for d in neg):.1f}); "
+                     "load dropped"),
+            load_uid=uid, function=func_name)
+        report.record(diagnostic)
+        self.tracer.event("guard.failure", category="guard",
+                          **diagnostic.to_dict())
+
+    def _account(self, report: GuardReport, delinquent: List[int],
+                 placements: List[Tuple[ScheduledSlice, list]]) -> None:
+        """Final adapted / skipped / failed load bookkeeping."""
+        delinquent_set = set(delinquent)
+        covered: set = set()
+        for scheduled, _ in placements:
+            covered |= (set(scheduled.region_slice.delinquent_uids)
+                        & delinquent_set)
+        failed = {d.load_uid for d in report.diagnostics
+                  if d.load_uid is not None and d.severity != WARNING}
+        failed = (failed & delinquent_set) - covered
+        report.adapted_loads = len(covered)
+        report.failed_loads = len(failed)
+        report.skipped_loads = (len(delinquent_set) - len(covered)
+                                - len(failed))
 
     # -- helpers ---------------------------------------------------------------------
 

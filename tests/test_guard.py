@@ -1,0 +1,507 @@
+"""repro.guard: error taxonomy, recovery boundaries, the deterministic
+fault injector, differential verification / rollback, speculative-context
+containment budgets, and degenerate pipeline inputs."""
+
+import dataclasses
+
+import pytest
+
+from repro.codegen.verify import differential_check
+from repro.guard import (
+    DROP_LOAD,
+    DROP_SLICE,
+    ERROR,
+    ROLLBACK,
+    STAGE_ERRORS,
+    WARNING,
+    CodegenError,
+    Diagnostic,
+    FaultInjector,
+    FaultSpec,
+    GuardError,
+    GuardReport,
+    InjectedFault,
+    ScheduleError,
+    SliceError,
+    VerifyError,
+    injecting,
+    recovery_boundary,
+)
+from repro.guard import faultinject
+from repro.isa import FunctionBuilder, Heap, Program
+from repro.isa.instructions import Instruction
+from repro.profiling import collect_profile
+from repro.sim import simulate
+from repro.sim.machine import make_config
+from repro.tool import SSPPostPassTool, ToolOptions
+from repro.workloads import make_workload
+
+from helpers import linked_list_heap, list_sum_program
+
+
+def adapt_workload(name="mcf", scale="tiny", options=None):
+    workload = make_workload(name, scale)
+    program = workload.build_program()
+    profile = collect_profile(program, workload.build_heap)
+    tool = SSPPostPassTool(options)
+    result = tool.adapt(program, profile,
+                        heap_factory=workload.build_heap)
+    return workload, program, profile, result
+
+
+# -- error taxonomy -----------------------------------------------------------------
+
+
+class TestErrorTaxonomy:
+    def test_stage_classes(self):
+        assert SliceError.stage == "slicing"
+        assert SliceError.policy == DROP_LOAD
+        assert ScheduleError.policy == DROP_SLICE
+        assert CodegenError.stage == "codegen"
+        assert VerifyError.policy == ROLLBACK
+        for cls in (SliceError, ScheduleError, CodegenError, VerifyError):
+            assert issubclass(cls, GuardError)
+
+    def test_stage_errors_cover_pipeline(self):
+        for stage in ("slicing", "scheduling", "triggers", "codegen",
+                      "verify"):
+            assert issubclass(STAGE_ERRORS[stage], GuardError)
+
+    def test_diagnostic_round_trip(self):
+        err = SliceError("boom", load_uid=7, function="main")
+        diag = Diagnostic.from_error(err)
+        assert diag.stage == "slicing"
+        assert diag.severity == ERROR
+        d = diag.to_dict()
+        assert d["load_uid"] == 7 and d["function"] == "main"
+        assert d["policy"] == DROP_LOAD
+
+    def test_report_degradation_semantics(self):
+        report = GuardReport()
+        assert not report.degraded and not report.rolled_back
+        warn = Diagnostic(stage="scheduling", error="ScheduleError",
+                          severity=WARNING, policy=DROP_LOAD,
+                          message="negative slack")
+        report.record(warn)
+        # Warnings alone never degrade a run (legitimate negative slack).
+        assert not report.degraded
+        report.record(Diagnostic.from_error(SliceError("bad")))
+        assert report.degraded
+        report.record_rollback("main", "mismatch")
+        assert report.rolled_back
+        assert "rolled_back=1" in report.summary()
+        assert report.to_dict()["degraded"] is True
+
+
+# -- recovery boundaries ------------------------------------------------------------
+
+
+class TestRecoveryBoundary:
+    def test_swallows_and_records(self):
+        report = GuardReport()
+        with recovery_boundary(report, "slicing", load_uid=7,
+                               function="main") as outcome:
+            raise ValueError("address computation exploded")
+        assert not outcome.ok
+        assert isinstance(outcome.error, SliceError)
+        (diag,) = report.diagnostics
+        assert diag.stage == "slicing"
+        assert diag.load_uid == 7 and diag.function == "main"
+        assert "ValueError" in diag.message
+
+    def test_clean_body_records_nothing(self):
+        report = GuardReport()
+        with recovery_boundary(report, "slicing") as outcome:
+            pass
+        assert outcome.ok and not report.diagnostics
+
+    def test_stage_override_on_foreign_guard_error(self):
+        # A CodegenError escaping during trigger placement is reported
+        # under the stage that actually failed.
+        report = GuardReport()
+        with recovery_boundary(report, "triggers"):
+            raise CodegenError("bad stub")
+        assert report.diagnostics[0].stage == "triggers"
+
+    def test_operator_intent_propagates(self):
+        report = GuardReport()
+        with pytest.raises(KeyboardInterrupt):
+            with recovery_boundary(report, "slicing"):
+                raise KeyboardInterrupt()
+        assert not report.diagnostics
+
+    def test_explicit_propagate_list(self):
+        report = GuardReport()
+        with pytest.raises(ZeroDivisionError):
+            with recovery_boundary(report, "slicing",
+                                   propagate=(ZeroDivisionError,)):
+                1 // 0
+
+
+# -- fault injector -----------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_parse_forms(self):
+        spec = FaultSpec.parse("cache.corrupt")
+        assert spec.site == "cache.corrupt" and spec.prob == 1.0
+        spec = FaultSpec.parse("cache.corrupt:0.5")
+        assert spec.prob == 0.5
+        spec = FaultSpec.parse("cache.corrupt:0.5:3")
+        assert spec.times == 3
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultSpec.parse("no.such.site")
+        with pytest.raises(ValueError):
+            FaultSpec.parse("cache.corrupt:2.0")
+
+    def test_deterministic_firing(self):
+        def sequence(seed):
+            inj = FaultInjector(["cache.corrupt:0.5"], seed=seed)
+            return [inj.fires("cache.corrupt") for _ in range(64)]
+
+        assert sequence(1) == sequence(1)
+        assert sequence(1) != sequence(2)
+
+    def test_times_cap(self):
+        inj = FaultInjector(["cache.corrupt:1.0:2"], seed=0)
+        fired = [inj.fires("cache.corrupt") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_unarmed_site_never_fires(self):
+        inj = FaultInjector(["cache.corrupt"], seed=0)
+        assert not inj.fires("slice.exception")
+
+    def test_injecting_scope(self):
+        assert faultinject.active() is None
+        with injecting("slice.exception"):
+            with pytest.raises(InjectedFault):
+                faultinject.check("slice.exception")
+        assert faultinject.active() is None
+        # Off: the module-level helpers are no-ops.
+        faultinject.check("slice.exception")
+        assert not faultinject.fires("slice.exception")
+
+
+# -- differential verification & rollback -------------------------------------------
+
+
+def _arc_scan(corruption=None):
+    """The Figure 3 kernel with a hand-built chaining adaptation.
+
+    ``corruption``: None (sound), "spec_store" (the p-slice writes
+    memory), or "main_drift" (the stub perturbs main-thread state).
+    """
+    prog = Program(entry="main")
+    fb = FunctionBuilder(prog.add_function("main"))
+    heap = Heap(1 << 22)
+    stride = 64
+    nodes = [heap.alloc(64, align=64) for _ in range(50)]
+    arcs = heap.alloc(400 * stride, align=64)
+    for i in range(400):
+        heap.store(arcs + i * stride, nodes[i % len(nodes)])
+    for i, node in enumerate(nodes):
+        heap.store(node + 16, i)
+    out = heap.alloc(8)
+
+    fb.mov_imm(arcs, dest="r50")
+    fb.mov_imm(arcs + 400 * stride, dest="r51")
+    fb.mov_imm(0, dest="r52")
+    fb.chk_c("stub1")
+    fb.label("loop")
+    u = fb.load("r50", 0)
+    pot = fb.load(u, 16)
+    fb.add("r52", pot, dest="r52")
+    fb.add("r50", imm=stride, dest="r50")
+    p = fb.cmp("lt", "r50", "r51")
+    fb.br_cond(p, "loop")
+    o = fb.mov_imm(out)
+    fb.store(o, "r52")
+    fb.halt()
+
+    fb.label("stub1")
+    fb.lib_store(0, "r50")
+    fb.lib_store(1, "r51")
+    if corruption == "main_drift":
+        fb.add("r52", imm=1, dest="r52")
+    fb.spawn("slice1")
+    fb.rfi()
+
+    fb.label("slice1")
+    fb.lib_load(0, dest="r60")
+    fb.lib_load(1, dest="r61")
+    fb.mov("r60", dest="r62")
+    fb.add("r60", imm=stride, dest="r60")
+    fb.lib_store(0, "r60")
+    fb.lib_store(1, "r61")
+    pc2 = fb.cmp("lt", "r60", "r61")
+    fb.emit(Instruction(op="spawn", target="slice1", pred=pc2))
+    fb.load("r62", 0, dest="r63")
+    if corruption == "spec_store":
+        fb.store("r63", "r62")
+    fb.prefetch("r63", 16)
+    fb.kill()
+    prog.finalize()
+    return prog
+
+
+def _reference_scan():
+    """The same kernel without any SSP code (the "original binary")."""
+    prog = Program(entry="main")
+    fb = FunctionBuilder(prog.add_function("main"))
+    stride = 64
+    heap = Heap(1 << 22)
+    nodes = [heap.alloc(64, align=64) for _ in range(50)]
+    arcs = heap.alloc(400 * stride, align=64)
+    fb.mov_imm(arcs, dest="r50")
+    fb.mov_imm(arcs + 400 * stride, dest="r51")
+    fb.mov_imm(0, dest="r52")
+    fb.label("loop")
+    u = fb.load("r50", 0)
+    pot = fb.load(u, 16)
+    fb.add("r52", pot, dest="r52")
+    fb.add("r50", imm=stride, dest="r50")
+    p = fb.cmp("lt", "r50", "r51")
+    fb.br_cond(p, "loop")
+    out = heap.alloc(8)
+    o = fb.mov_imm(out)
+    fb.store(o, "r52")
+    fb.halt()
+    prog.finalize()
+    return prog
+
+
+def _scan_heap():
+    heap = Heap(1 << 22)
+    stride = 64
+    nodes = [heap.alloc(64, align=64) for _ in range(50)]
+    arcs = heap.alloc(400 * stride, align=64)
+    for i in range(400):
+        heap.store(arcs + i * stride, nodes[i % len(nodes)])
+    for i, node in enumerate(nodes):
+        heap.store(node + 16, i)
+    heap.alloc(8)
+    return heap
+
+
+class TestDifferentialVerify:
+    def test_sound_adaptation_is_equivalent(self):
+        report = differential_check(_reference_scan(), _arc_scan(),
+                                    _scan_heap)
+        assert report.equivalent, report.reason
+        assert report.spawned_threads > 0
+
+    def test_catches_speculative_store(self):
+        report = differential_check(_reference_scan(),
+                                    _arc_scan("spec_store"), _scan_heap)
+        assert not report.equivalent
+        # The culprit is the slice's home function: per-function rollback.
+        assert report.function == "main"
+        assert "store" in report.reason
+
+    def test_catches_main_thread_drift(self):
+        report = differential_check(_reference_scan(),
+                                    _arc_scan("main_drift"), _scan_heap)
+        assert not report.equivalent
+
+    def test_tool_verifies_real_adaptation(self):
+        _, _, _, result = adapt_workload("mcf", "tiny")
+        assert result.adapted is not None
+        assert not result.guard.rolled_back
+        assert result.guard.adapted_loads > 0
+
+    def test_injected_mismatch_rolls_back(self):
+        workload = make_workload("mcf", "tiny")
+        program = workload.build_program()
+        profile = collect_profile(program, workload.build_heap)
+        before = program.disassemble()
+        with injecting("verify.mismatch"):
+            result = SSPPostPassTool().adapt(
+                program, profile, heap_factory=workload.build_heap)
+        # Everything the verifier flagged was rolled back; the surviving
+        # binary is byte-identical to the unadapted input.
+        assert result.adapted is None
+        assert result.guard.rolled_back
+        assert any(d.stage == "verify" for d in result.guard.diagnostics)
+        assert program.disassemble() == before
+
+    def test_corrupted_emitter_output_never_ships(self):
+        # A store injected into an emitted p-slice must be caught by
+        # validation/verification, never delivered in result.adapted.
+        workload = make_workload("mcf", "tiny")
+        program = workload.build_program()
+        profile = collect_profile(program, workload.build_heap)
+        with injecting("codegen.invalid_program"):
+            result = SSPPostPassTool().adapt(
+                program, profile, heap_factory=workload.build_heap)
+        assert result.guard.degraded
+        if result.adapted is not None:
+            diff = differential_check(program, result.adapted.program,
+                                      workload.build_heap)
+            assert diff.equivalent
+
+
+# -- speculative-context containment budgets ----------------------------------------
+
+
+def _runaway_program():
+    """A chaining slice that respawns itself and then spins forever."""
+    prog = Program(entry="main")
+    fb = FunctionBuilder(prog.add_function("main"))
+    heap = Heap(1 << 16)
+    out = heap.alloc(8)
+    fb.mov_imm(0, dest="r50")
+    fb.chk_c("stub1")
+    fb.label("loop")
+    fb.add("r50", imm=1, dest="r50")
+    p = fb.cmp("lt", "r50", imm=200)
+    fb.br_cond(p, "loop")
+    o = fb.mov_imm(out)
+    fb.store(o, "r50")
+    fb.halt()
+
+    fb.label("stub1")
+    fb.lib_store(0, "r50")
+    fb.spawn("slice1")
+    fb.rfi()
+
+    fb.label("slice1")
+    fb.lib_load(0, dest="r60")
+    fb.emit(Instruction(op="spawn", target="slice1"))
+    fb.label("spin")
+    fb.add("r60", imm=1, dest="r60")
+    fb.br("spin")
+    prog.finalize()
+    return prog, heap, out
+
+
+class TestContainmentBudgets:
+    def test_instruction_budget_kills_runaway_slice(self):
+        prog, heap, out = _runaway_program()
+        config = dataclasses.replace(make_config("inorder"),
+                                     spec_instruction_budget=256)
+        stats = simulate(prog, heap, "inorder", config=config)
+        assert stats.budget_kills >= 1
+        # Main thread unaffected: it ran to completion, correct result.
+        assert heap.load(out) == 200
+
+    def test_cycle_budget_kills_long_lived_context(self):
+        prog, heap, out = _runaway_program()
+        config = dataclasses.replace(make_config("inorder"),
+                                     spec_instruction_budget=0,
+                                     spec_cycle_budget=100)
+        stats = simulate(prog, heap, "inorder", config=config)
+        assert stats.budget_kills >= 1
+        assert heap.load(out) == 200
+
+    def test_budget_kills_on_ooo_model(self):
+        prog, heap, out = _runaway_program()
+        config = dataclasses.replace(make_config("ooo"),
+                                     spec_instruction_budget=256)
+        stats = simulate(prog, heap, "ooo", config=config)
+        assert stats.budget_kills >= 1
+        assert heap.load(out) == 200
+
+    def test_budget_does_not_fire_on_healthy_workload(self):
+        workload = make_workload("mcf", "tiny")
+        _, _, _, result = adapt_workload("mcf", "tiny")
+        stats = simulate(result.program, workload.build_heap(), "inorder")
+        assert stats.budget_kills == 0
+
+    def test_budget_kills_serialise(self):
+        from repro.sim.stats import SimStats
+        prog, heap, _ = _runaway_program()
+        config = dataclasses.replace(make_config("inorder"),
+                                     spec_instruction_budget=256)
+        stats = simulate(prog, heap, "inorder", config=config)
+        round_tripped = SimStats.from_dict(stats.to_dict())
+        assert round_tripped.budget_kills == stats.budget_kills
+        # Snapshots from before the counter existed read as zero.
+        legacy = stats.to_dict()
+        del legacy["budget_kills"]
+        assert SimStats.from_dict(legacy).budget_kills == 0
+
+
+# -- degenerate pipeline inputs ------------------------------------------------------
+
+
+class TestDegenerateInputs:
+    def test_empty_program(self):
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        fb.halt()
+        prog.finalize()
+        profile = collect_profile(prog, lambda: Heap(1 << 12))
+        result = SSPPostPassTool().adapt(prog, profile,
+                                         heap_factory=lambda: Heap(1 << 12))
+        assert result.adapted is None
+        assert not result.guard.degraded
+
+    def test_zero_delinquent_loads(self):
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        fb.mov_imm(0, dest="r100")
+        fb.label("loop")
+        fb.add("r100", imm=1, dest="r100")
+        p = fb.cmp("lt", "r100", imm=400)
+        fb.br_cond(p, "loop")
+        fb.halt()
+        prog.finalize()
+        profile = collect_profile(prog, lambda: Heap(1 << 12))
+        result = SSPPostPassTool().adapt(prog, profile,
+                                         heap_factory=lambda: Heap(1 << 12))
+        assert result.delinquent_uids == []
+        assert result.adapted is None
+        assert result.guard.adapted_loads == 0
+        assert not result.guard.degraded
+
+    def test_slice_larger_than_region_budget(self):
+        # max_slice_size=1 rejects every candidate: a clean no-op, not a
+        # crash, and the decision trace explains the rejections.
+        workload = make_workload("mcf", "tiny")
+        program = workload.build_program()
+        profile = collect_profile(program, workload.build_heap)
+        result = SSPPostPassTool(ToolOptions(max_slice_size=1)).adapt(
+            program, profile, heap_factory=workload.build_heap)
+        assert result.adapted is None
+        # Rejected loads are accounted as skipped, and a no-op for this
+        # structural reason is not a degradation.
+        assert result.guard.skipped_loads == len(result.delinquent_uids)
+        assert not result.guard.degraded
+
+    def test_single_basic_block_function(self):
+        heap0, addrs, out = linked_list_heap(4)
+        prog = Program(entry="main")
+        fb = FunctionBuilder(prog.add_function("main"))
+        # Straight-line: four loads, no loop, so no region to attack.
+        r = fb.mov_imm(addrs[0])
+        for _ in range(4):
+            v = fb.load(r, 0)
+            r = fb.load(r, 8)
+        o = fb.mov_imm(out)
+        fb.store(o, v)
+        fb.halt()
+        prog.finalize()
+
+        def factory():
+            heap, _, _ = linked_list_heap(4)
+            return heap
+
+        profile = collect_profile(prog, factory)
+        result = SSPPostPassTool().adapt(prog, profile,
+                                         heap_factory=factory)
+        # Whatever the tool decides, it must not crash and any output
+        # must be semantically equivalent.
+        if result.adapted is not None:
+            diff = differential_check(prog, result.adapted.program,
+                                      factory)
+            assert diff.equivalent
+
+    def test_slicer_failure_drops_only_that_load(self):
+        with injecting("slice.exception:1.0:1"):
+            _, _, _, result = adapt_workload("mcf", "tiny")
+        # One load lost to the injected fault; the rest still adapted.
+        assert result.guard.failed_loads == 1
+        assert result.adapted is not None
+        assert result.guard.adapted_loads >= 1
