@@ -1,0 +1,15 @@
+"""``python -m repro`` — the ``ssp-postpass`` command line.
+
+Delegates to :func:`repro.tool.cli.main`, so ``python -m repro check``,
+``python -m repro mcf --scale small`` etc. behave exactly like the
+installed console script.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .tool.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Correctness subsystem: binary linter, differential oracle, fuzzing.
+
+Three layers of assurance over the post-pass adaptation pipeline:
+
+* :mod:`repro.check.lint` — static rules (control-flow integrity,
+  register discipline, trigger legality) over adapted binaries;
+* :mod:`repro.check.oracle` — cross-model differential testing of the
+  interpreter and both timing pipelines on the benchmark workloads;
+* :mod:`repro.check.fuzz` — seeded random-program generation driving the
+  whole pipeline and re-asserting the above on every generated binary.
+
+``python -m repro check`` runs all three.
+"""
+
+from .fuzz import FuzzReport, run_case, run_fuzz
+from .lint import LintViolation, lint_program
+from .oracle import OracleResult, run_oracle
+
+__all__ = [
+    "FuzzReport",
+    "LintViolation",
+    "OracleResult",
+    "lint_program",
+    "run_case",
+    "run_fuzz",
+    "run_oracle",
+]

@@ -1,0 +1,476 @@
+"""Static linter over SSP-adapted binaries.
+
+Binary rewriting is only trustworthy when the rewritten binary is provably
+well formed, so every adapted :class:`~repro.isa.program.Program` can be
+held against a set of machine-checkable rules.  Where
+:mod:`repro.codegen.verify` asserts the Figure 7 *shape* of stubs and
+slices, the linter proves the properties that make the adaptation safe to
+run:
+
+**Control-flow integrity**
+
+* ``cfi.spawn-target`` — every ``spawn`` targets a real slice block in the
+  same function;
+* ``cfi.slice-escape`` — control flow started in a slice region stays in
+  the region (branches, fall-throughs) until the thread stops;
+* ``cfi.slice-termination`` — every slice-region exit is a ``kill``
+  (thread-stop), never a fall-through into neighbouring code;
+* ``cfi.fallthrough`` — no reachable main-code path falls through into an
+  appended stub/slice block or off the end of a function into the next
+  function's code;
+* ``cfi.spec-store`` / ``cfi.slice-call`` — speculative code (slices and
+  ``.sspclone`` callees) contains no stores, and direct calls from slices
+  only reach store-free clones.
+
+**Register discipline** (needs the :mod:`repro.analysis.dataflow` liveness)
+
+* ``regs.live-in-coverage`` — every live-in slot a slice reads is written
+  by each stub that spawns it;
+* ``regs.stub-clobber`` — a stub never writes a register that is live in
+  the main thread at the resumption point (``chk.c`` + 1), so a fired
+  trigger cannot corrupt main-thread state.
+
+**Trigger legality** (against the *original* binary)
+
+* ``trig.main-code-preserved`` — adaptation only replaces ``nop`` slots
+  with ``chk.c`` or inserts ``chk.c``; every other main-code instruction
+  survives bit-for-bit (uids are preserved by the clone);
+* ``trig.double-trigger`` — no two triggers of one slice lie on a common
+  path (one dominates the other);
+* ``trig.covers-load`` — every path from the function entry to a slice's
+  delinquent load executes one of the slice's triggers first (the cut-set
+  property of Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.cfg import CFG, EXIT
+from ..analysis.dataflow import (
+    block_liveness,
+    instruction_defs,
+    instruction_uses,
+)
+from ..analysis.dominance import dominator_tree
+from ..codegen.emit import SPEC_CLONE_SUFFIX
+from ..codegen.verify import SLICE_PREFIX, STUB_PREFIX
+from ..isa import registers as regs
+from ..isa.instructions import (
+    OP_BR,
+    OP_BR_COND,
+    OP_CALL,
+    OP_CHK_C,
+    OP_KILL,
+    OP_LIB_LD,
+    OP_LIB_ST,
+    OP_NOP,
+    OP_RFI,
+    OP_SPAWN,
+)
+from ..isa.program import BasicBlock, Function, Program
+
+
+@dataclass
+class LintViolation:
+    """One broken rule at one location."""
+
+    rule: str
+    function: str
+    location: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"[{self.rule}] {self.function}:{self.location}: "
+                f"{self.message}")
+
+
+def _slice_region(func: Function, root: str) -> List[str]:
+    """The slice root plus its continuation blocks (``root.*`` chains)."""
+    labels = [b.label for b in func.blocks]
+    out = [root]
+    for label in labels[labels.index(root) + 1:]:
+        if label.startswith(root + "."):
+            out.append(label)
+        else:
+            break
+    return out
+
+
+def _local_label(target: Optional[str], func_name: str) -> Optional[str]:
+    """Strip a ``func::label`` qualification when it names ``func_name``."""
+    if target is None:
+        return None
+    if "::" in target:
+        qualifier, label = target.split("::", 1)
+        return label if qualifier == func_name else None
+    return target
+
+
+class _FunctionLint:
+    """All lint rules for one function of the adapted program."""
+
+    def __init__(self, program: Program, func: Function,
+                 original: Optional[Function],
+                 violations: List[LintViolation]):
+        self.program = program
+        self.func = func
+        self.original = original
+        self.violations = violations
+        self.stub_labels = [b.label for b in func.blocks
+                            if b.label.startswith(STUB_PREFIX)]
+        self.slice_roots = [
+            b.label for b in func.blocks
+            if b.label.startswith(SLICE_PREFIX)
+            and "." not in b.label[len(SLICE_PREFIX):]]
+        self.regions: Dict[str, List[str]] = {
+            root: _slice_region(func, root) for root in self.slice_roots}
+        self.speculative: Set[str] = set(self.stub_labels)
+        for labels in self.regions.values():
+            self.speculative.update(labels)
+        self.cfg = CFG(func)
+
+    def report(self, rule: str, location: str, message: str) -> None:
+        self.violations.append(LintViolation(
+            rule=rule, function=self.func.name, location=location,
+            message=message))
+
+    # -- control-flow integrity ------------------------------------------------------
+
+    def check_cfi(self) -> None:
+        func = self.func
+        reachable = self.cfg.reachable()
+        last_label = func.blocks[-1].label
+        for block in func.blocks:
+            if block.label in self.speculative:
+                continue
+            if block.label not in reachable:
+                continue  # dead code cannot leak control flow
+            term = block.instrs[-1] if block.instrs else None
+            falls = term is None or not term.is_terminator
+            if falls and block.label == last_label:
+                self.report("cfi.fallthrough", block.label,
+                            "reachable block falls off the end of the "
+                            "function into the next function's code")
+            for succ in self.cfg.successors(block.label):
+                if succ in self.speculative:
+                    self.report("cfi.fallthrough", block.label,
+                                f"main code falls through or branches "
+                                f"into appended block {succ!r}")
+
+        for label in self.stub_labels:
+            block = func.block(label)
+            if not block.instrs or block.instrs[-1].op != OP_RFI:
+                self.report("cfi.slice-termination", label,
+                            "stub block does not end in rfi")
+
+        for root, labels in self.regions.items():
+            self._check_slice_region(root, labels)
+
+    def _check_slice_region(self, root: str, labels: List[str]) -> None:
+        func = self.func
+        region = set(labels)
+        for label in labels:
+            block = func.block(label)
+            term = block.instrs[-1] if block.instrs else None
+            succs = [s for s in self.cfg.successors(label) if s != EXIT]
+            if not succs:
+                if term is None or term.op != OP_KILL:
+                    self.report("cfi.slice-termination", label,
+                                "slice-region exit does not stop the "
+                                "thread with kill")
+            # Every control transfer (including mid-block branches the
+            # block-granular CFG does not model) must stay in the region.
+            for instr in block.instrs:
+                if instr.op in (OP_BR, OP_BR_COND):
+                    target = _local_label(instr.target, func.name)
+                    if target is None or target not in region:
+                        self.report(
+                            "cfi.slice-escape", label,
+                            f"{instr.op} leaves the slice region for "
+                            f"{instr.target!r}")
+                elif instr.op == OP_SPAWN:
+                    target = _local_label(instr.target, func.name)
+                    if target not in self.slice_roots:
+                        self.report(
+                            "cfi.spawn-target", label,
+                            f"spawn targets {instr.target!r}, not a "
+                            "slice block of this function")
+                elif instr.op == OP_CALL:
+                    if not instr.target.endswith(SPEC_CLONE_SUFFIX):
+                        self.report(
+                            "cfi.slice-call", label,
+                            f"slice calls {instr.target!r}, which is not "
+                            "a store-free speculative clone")
+            # Fall-through out of the region (block-granular edges; the
+            # virtual exit is the legal kill/ret destination).
+            for succ in succs:
+                if succ not in region:
+                    self.report("cfi.slice-escape", label,
+                                f"slice region falls through to {succ!r}")
+
+    def check_spawn_targets(self) -> None:
+        """Spawns outside slice regions (i.e. in stubs) target slices."""
+        for label in self.stub_labels:
+            for instr in self.func.block(label).instrs:
+                if instr.op == OP_SPAWN:
+                    target = _local_label(instr.target, self.func.name)
+                    if target not in self.slice_roots:
+                        self.report(
+                            "cfi.spawn-target", label,
+                            f"spawn targets {instr.target!r}, not a "
+                            "slice block of this function")
+
+    def check_spec_stores(self) -> None:
+        labels = set(self.stub_labels) | {
+            l for labels in self.regions.values() for l in labels}
+        clone = self.func.name.endswith(SPEC_CLONE_SUFFIX)
+        for block in self.func.blocks:
+            if not clone and block.label not in labels:
+                continue
+            for instr in block.instrs:
+                if instr.is_store:
+                    self.report("cfi.spec-store", block.label,
+                                f"store in speculative code: {instr}")
+
+    # -- register discipline ---------------------------------------------------------
+
+    def check_register_discipline(self) -> None:
+        func = self.func
+        stub_slots: Dict[str, Set[int]] = {}
+        stub_target: Dict[str, Optional[str]] = {}
+        for label in self.stub_labels:
+            block = func.block(label)
+            stub_slots[label] = {i.imm for i in block.instrs
+                                 if i.op == OP_LIB_ST}
+            spawn = next((i for i in block.instrs if i.op == OP_SPAWN),
+                         None)
+            stub_target[label] = _local_label(
+                spawn.target, func.name) if spawn is not None else None
+
+        for stub, root in stub_target.items():
+            if root not in self.regions:
+                continue
+            read = {i.imm
+                    for label in self.regions[root]
+                    for i in func.block(label).instrs
+                    if i.op == OP_LIB_LD}
+            missing = read - stub_slots[stub]
+            if missing:
+                self.report(
+                    "regs.live-in-coverage", root,
+                    f"slice reads live-in slots {sorted(missing)} that "
+                    f"stub {stub} never writes")
+
+        # Stub clobber: registers a stub writes vs. main-thread liveness
+        # at the resumption point of each trigger using it.
+        stub_defs: Dict[str, Set[str]] = {}
+        for label in self.stub_labels:
+            defs: Set[str] = set()
+            for instr in func.block(label).instrs:
+                defs.update(instruction_defs(instr))
+            stub_defs[label] = defs - {regs.ZERO}
+        if not any(stub_defs.values()):
+            return  # nothing written anywhere: liveness not needed
+        _, live_out = block_liveness(func, self.cfg)
+        for block in func.blocks:
+            if block.label in self.speculative:
+                continue
+            for index, instr in enumerate(block.instrs):
+                if instr.op != OP_CHK_C:
+                    continue
+                stub = _local_label(instr.target, func.name)
+                defs = stub_defs.get(stub, set())
+                if not defs:
+                    continue
+                live = set(live_out.get(block.label, set()))
+                for later in reversed(block.instrs[index + 1:]):
+                    live -= set(instruction_defs(later))
+                    live |= {r for r in instruction_uses(later, func)
+                             if r not in (regs.ZERO, regs.TRUE_PREDICATE)}
+                clobbered = defs & live
+                if clobbered:
+                    self.report(
+                        "regs.stub-clobber", f"{block.label}@{index}",
+                        f"stub {stub} writes {sorted(clobbered)}, live "
+                        "in the main thread at the resumption point")
+
+    # -- trigger legality -------------------------------------------------------------
+
+    def check_main_code_preserved(self) -> None:
+        if self.original is None:
+            if not self.func.name.endswith(SPEC_CLONE_SUFFIX):
+                self.report("trig.main-code-preserved", "<function>",
+                            "function does not exist in the original "
+                            "binary and is not a speculative clone")
+            return
+        orig_labels = {b.label for b in self.original.blocks}
+        seen = set()
+        for block in self.func.blocks:
+            if block.label in self.speculative:
+                continue
+            seen.add(block.label)
+            if block.label not in orig_labels:
+                self.report("trig.main-code-preserved", block.label,
+                            "main-code block does not exist in the "
+                            "original binary")
+                continue
+            self._check_block_preserved(
+                block, self.original.block(block.label))
+        for label in orig_labels - seen:
+            self.report("trig.main-code-preserved", label,
+                        "original block missing from the adapted binary")
+
+    def _check_block_preserved(self, block: BasicBlock,
+                               orig: BasicBlock) -> None:
+        """Adapted block == original with nops replaced by / chk.c added."""
+        chk_count = sum(1 for i in block.instrs if i.op == OP_CHK_C)
+        kept = [i for i in block.instrs if i.op != OP_CHK_C]
+        skipped_nops = 0
+        i = 0
+        for instr in kept:
+            while i < len(orig.instrs) and orig.instrs[i].uid != instr.uid:
+                if orig.instrs[i].op != OP_NOP:
+                    self.report(
+                        "trig.main-code-preserved", block.label,
+                        f"original instruction {orig.instrs[i]} was "
+                        "dropped or reordered by adaptation")
+                    return
+                skipped_nops += 1
+                i += 1
+            if i >= len(orig.instrs):
+                self.report("trig.main-code-preserved", block.label,
+                            f"adaptation introduced {instr} into main "
+                            "code")
+                return
+            i += 1
+        for rest in orig.instrs[i:]:
+            if rest.op != OP_NOP:
+                self.report("trig.main-code-preserved", block.label,
+                            f"original instruction {rest} was dropped by "
+                            "adaptation")
+                return
+            skipped_nops += 1
+        if skipped_nops > chk_count:
+            self.report("trig.main-code-preserved", block.label,
+                        f"{skipped_nops} nops vanished but only "
+                        f"{chk_count} chk.c were placed")
+
+    def _triggers_by_slice(self) -> Dict[str, List[Tuple[str, int]]]:
+        """slice root -> [(block label, index)] of its chk.c triggers."""
+        stub_target: Dict[str, Optional[str]] = {}
+        for label in self.stub_labels:
+            spawn = next((i for i in self.func.block(label).instrs
+                          if i.op == OP_SPAWN), None)
+            stub_target[label] = _local_label(
+                spawn.target, self.func.name) if spawn else None
+        out: Dict[str, List[Tuple[str, int]]] = {}
+        for block in self.func.blocks:
+            if block.label in self.speculative:
+                continue
+            for index, instr in enumerate(block.instrs):
+                if instr.op != OP_CHK_C:
+                    continue
+                stub = _local_label(instr.target, self.func.name)
+                root = stub_target.get(stub)
+                if root is None:
+                    self.report("cfi.spawn-target",
+                                f"{block.label}@{index}",
+                                f"chk.c targets {instr.target!r}, which "
+                                "does not spawn a slice of this function")
+                    continue
+                out.setdefault(root, []).append((block.label, index))
+        return out
+
+    def check_trigger_legality(self) -> None:
+        triggers = self._triggers_by_slice()
+        if not triggers:
+            return
+        dom = dominator_tree(self.cfg)
+        prefetch_sources = self.program.prefetch_sources
+        uid_site: Dict[int, Tuple[str, int]] = {}
+        for block in self.func.blocks:
+            if block.label in self.speculative:
+                continue
+            for index, instr in enumerate(block.instrs):
+                uid_site[instr.uid] = (block.label, index)
+
+        for root, sites in triggers.items():
+            # One trigger per path: no trigger dominates another.
+            for a_label, a_index in sites:
+                for b_label, b_index in sites:
+                    if (a_label, a_index) >= (b_label, b_index):
+                        continue
+                    if a_label == b_label or dom.dominates(a_label,
+                                                           b_label):
+                        self.report(
+                            "trig.double-trigger",
+                            f"{a_label}@{a_index}",
+                            f"trigger for {root} at {b_label}@{b_index} "
+                            "lies on the same path (double trigger)")
+            # Cut-set: every entry-to-load path passes a trigger first.
+            delinquents = {
+                prefetch_sources[i.uid]
+                for label in self.regions.get(root, [])
+                for i in self.func.block(label).instrs
+                if i.uid in prefetch_sources}
+            trigger_blocks: Dict[str, int] = {}
+            for label, index in sites:
+                prev = trigger_blocks.get(label)
+                trigger_blocks[label] = index if prev is None \
+                    else min(prev, index)
+            for uid in sorted(delinquents):
+                site = uid_site.get(uid)
+                if site is None:
+                    continue  # load lives in another function
+                self._check_cut_set(root, trigger_blocks, site)
+
+    def _check_cut_set(self, root: str, triggers: Dict[str, int],
+                       load_site: Tuple[str, int]) -> None:
+        """BFS from entry; trigger blocks absorb paths (the trigger runs
+        before the block's continuation), so reaching the load through
+        trigger-free blocks — or before the trigger inside its own block —
+        breaks the cut."""
+        load_label, load_index = load_site
+        entry = self.cfg.entry
+        seen = {entry}
+        work = [entry]
+        while work:
+            label = work.pop()
+            trig_index = triggers.get(label)
+            if label == load_label and (trig_index is None
+                                        or load_index < trig_index):
+                self.report(
+                    "trig.covers-load", f"{load_label}@{load_index}",
+                    f"delinquent load of slice {root} is reachable from "
+                    "the entry without executing a trigger first")
+                return
+            if trig_index is not None:
+                continue  # path covered from here on
+            for succ in self.cfg.successors(label):
+                if succ != EXIT and succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+
+
+def lint_program(original: Program, adapted: Program) -> List[LintViolation]:
+    """Lint ``adapted`` against every rule; returns all violations.
+
+    ``original`` is the pre-adaptation binary the trigger-legality rules
+    compare against (instruction uids are preserved by the tool's clone).
+    An empty list means the binary passed.
+    """
+    violations: List[LintViolation] = []
+    for name, func in adapted.functions.items():
+        if not func.blocks:
+            continue
+        orig = original.functions.get(name)
+        checker = _FunctionLint(adapted, func, orig, violations)
+        checker.check_cfi()
+        checker.check_spawn_targets()
+        checker.check_spec_stores()
+        checker.check_register_discipline()
+        checker.check_main_code_preserved()
+        checker.check_trigger_legality()
+    return violations

@@ -95,9 +95,13 @@ class SSPEmitter:
         self._counter = 0
         self._cloned_callees: Dict[str, str] = {}
         self.records: List[SliceRecord] = []
-        #: Trigger insertions per block, applied sorted to keep indices valid.
-        self._pending_triggers: Dict[Tuple[str, str],
-                                     List[Tuple[int, str]]] = {}
+        #: Trigger insertions per block, applied sorted to keep indices
+        #: valid.  Each entry carries the slice's delinquent-load uids and
+        #: live-in registers so the nop-slot search can honour placement
+        #: legality (see :meth:`_nearby_nop`).
+        self._pending_triggers: Dict[
+            Tuple[str, str],
+            List[Tuple[int, str, frozenset, frozenset]]] = {}
 
     # -- public API --------------------------------------------------------------------
 
@@ -122,10 +126,15 @@ class SSPEmitter:
         emitted = self._emit_slice_body(func, slice_block, scheduled,
                                         layout, slice_label)
 
+        delinquents = frozenset(
+            scheduled.region_slice.delinquent_uids
+            if hasattr(scheduled.region_slice, "delinquent_uids")
+            else {scheduled.load.uid})
+        live_ins = frozenset(layout.registers)
         for point in triggers:
             key = (point.function, point.block)
             self._pending_triggers.setdefault(key, []).append(
-                (point.index, stub_label))
+                (point.index, stub_label, delinquents, live_ins))
 
         record = SliceRecord(scheduled, stub_label, slice_label,
                              list(triggers), emitted)
@@ -318,8 +327,10 @@ class SSPEmitter:
             func = self.program.function(func_name)
             block = func.block(label)
             # Descending index order keeps earlier indices valid.
-            for index, stub_label in sorted(entries, reverse=True):
-                nop_at = self._nearby_nop(block, index)
+            for index, stub_label, delinquents, live_ins in sorted(
+                    entries, reverse=True):
+                nop_at = self._nearby_nop(block, index, delinquents,
+                                          live_ins)
                 chk = Instruction(op="chk.c", target=stub_label)
                 if nop_at is not None:
                     block.instrs[nop_at] = chk
@@ -329,14 +340,38 @@ class SSPEmitter:
                     block.instrs.insert(index, chk)
                     self.tracer.counter("codegen.triggers_inserted").add()
 
-    def _nearby_nop(self, block, index: int,
-                    window: int = 2) -> Optional[int]:
-        """A nop slot at/near the trigger index, if the binary has one."""
+    def _nearby_nop(self, block, index: int, delinquents: frozenset,
+                    live_ins: frozenset, window: int = 2) -> Optional[int]:
+        """A *legal* nop slot at/near the trigger index, if any.
+
+        Displacing the trigger from the placement policy's chosen index is
+        only sound while two constraints hold.  Forward (later in the
+        block), the ``chk.c`` must not move past one of the slice's
+        delinquent loads — the trigger has to dominate the loads it
+        prefetches for, or the very miss it targets retires before the
+        slice is spawned.  Backward (earlier), it must not move above an
+        instruction that defines one of the slice's live-in registers —
+        the stub snapshots those registers when the trigger fires, and
+        hoisting the snapshot above a producer captures a stale value and
+        sends the p-slice down the wrong pointer chain.
+        """
         for offset in range(window + 1):
             for candidate in (index + offset, index - offset):
-                if 0 <= candidate < len(block.instrs) and \
-                        block.instrs[candidate].op == "nop":
-                    return candidate
+                if not 0 <= candidate < len(block.instrs):
+                    continue
+                if block.instrs[candidate].op != "nop":
+                    continue
+                if candidate > index:
+                    crossed = block.instrs[index:candidate]
+                    if any(i.uid in delinquents for i in crossed):
+                        continue
+                elif candidate < index:
+                    crossed = block.instrs[candidate:index]
+                    if any(i.dest in live_ins for i in crossed):
+                        continue
+                    if any(i.uid in delinquents for i in crossed):
+                        continue
+                return candidate
         return None
 
     # -- validation -------------------------------------------------------------------------------

@@ -201,6 +201,21 @@ class MemorySystem:
         state.
         """
         cfg = self.config
+        # An explicit lfetch — or a speculative thread's copy of a
+        # delinquent load (mapped by the emitter) — acts as a prefetch for
+        # its source load and is attributed as such.  Issue accounting
+        # happens before the perfect-memory shortcut so the Figure 2
+        # ablations report the same issue counts as the real hierarchy,
+        # and the global counter agrees with the per-static totals.
+        prefetching = is_prefetch or (not is_main and not is_store
+                                      and uid in self.prefetch_sources)
+        if prefetching:
+            self.prefetches_issued += 1
+            pstats = self.prefetch_stats.get(uid)
+            if pstats is None:
+                pstats = self.prefetch_stats[uid] = PrefetchStats()
+            pstats.issued += 1
+
         if cfg.perfect_memory or uid in cfg.perfect_load_uids:
             if not cfg.perfect_memory:
                 # "Delinquent loads always hit in the L1 cache" (Figure 2):
@@ -216,19 +231,6 @@ class MemorySystem:
             if is_main and not is_prefetch and not is_store:
                 self._record(uid, result, now, self.line_of(addr))
             return result
-
-        if is_prefetch:
-            self.prefetches_issued += 1
-        # An explicit lfetch — or a speculative thread's copy of a
-        # delinquent load (mapped by the emitter) — acts as a prefetch for
-        # its source load and is attributed as such.
-        prefetching = is_prefetch or (not is_main and not is_store
-                                      and uid in self.prefetch_sources)
-        if prefetching:
-            pstats = self.prefetch_stats.get(uid)
-            if pstats is None:
-                pstats = self.prefetch_stats[uid] = PrefetchStats()
-            pstats.issued += 1
 
         line = self.line_of(addr)
         extra = self._tlb_access(addr)
@@ -269,10 +271,12 @@ class MemorySystem:
             # Credit this line's next main-thread consumption to the
             # prefetch that started the fill.
             self._prefetched_lines[line] = uid
-        else:
-            # A demand fill means any previously-prefetched copy of the
-            # line is gone; drop the stale credit.
-            self._prefetched_lines.pop(line, None)
+        # A non-prefetching demand fill does *not* consume or drop the
+        # credit: the first main-thread **load** touch is the sole
+        # consumer (in :meth:`_record`, which also handles the
+        # evicted-before-use case).  Popping here made a main-thread
+        # store's demand fill silently discard a pending timely-prefetch
+        # credit, deflating coverage for store-then-load patterns.
 
         result = AccessResult(ready, origin)
         if is_main and not is_prefetch and not is_store:

@@ -234,10 +234,18 @@ class InOrderSimulator:
                     chk_fires = self._throttle_allows(instr.uid)
 
             pc_before = state.pc
+            # A non-empty rfi stack means the main thread is inside a
+            # recovery stub (between a fired chk.c and its rfi): those
+            # instructions retire on the main thread but are adaptation
+            # overhead, tracked separately so the retired-instruction
+            # oracle can compare models net of fired triggers.
+            in_stub = is_main and bool(state.rfi_stack)
             result = execute(program, self.heap, state, instr, chk_fires)
             issued += 1
             if is_main:
                 self.stats.main_instructions += 1
+                if in_stub:
+                    self.stats.main_stub_instructions += 1
             else:
                 self.stats.spec_instructions += 1
                 thread.spec_issued += 1
@@ -367,6 +375,9 @@ class InOrderSimulator:
         config = self.config
         main_state = ThreadState(
             tid=0, pc=program.function_entry[program.entry])
+        #: Final main-thread architectural state (the differential oracle
+        #: compares it across execution engines after :meth:`run`).
+        self.main_state = main_state
         main = HWThread(main_state)
         self.contexts[0] = main
         stats = self.stats

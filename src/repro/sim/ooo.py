@@ -180,6 +180,9 @@ class OOOSimulator:
 
         main_state = ThreadState(tid=0,
                                  pc=program.function_entry[program.entry])
+        #: Final main-thread architectural state (the differential oracle
+        #: compares it across execution engines after :meth:`run`).
+        self.main_state = main_state
         main = _OOOThread(main_state, 0, config.rob_entries,
                           config.rs_entries)
         # (next_fetch_cycle, tie, thread)
@@ -253,9 +256,15 @@ class OOOSimulator:
                                  and self._live_threads <
                                  config.hardware_contexts)
                 pc_before = state.pc
+                # Inside a recovery stub (fired chk.c, rfi not yet
+                # executed): counted separately for the retired-instruction
+                # oracle, as in the in-order model.
+                in_stub = is_main and bool(state.rfi_stack)
                 result = execute(program, self.heap, state, instr, chk_fires)
                 if is_main:
                     stats.main_instructions += 1
+                    if in_stub:
+                        stats.main_stub_instructions += 1
                 else:
                     stats.spec_instructions += 1
 

@@ -28,7 +28,8 @@ CYCLE_CATEGORIES = ("L3", "L2", "L1", "CacheExec", "Exec", "Other")
 
 #: Scalar counters serialised verbatim by :meth:`SimStats.to_dict`.
 _SCALAR_FIELDS = (
-    "cycles", "main_instructions", "spec_instructions",
+    "cycles", "main_instructions", "main_stub_instructions",
+    "spec_instructions",
     "chk_fired", "chk_ignored", "spawns", "spawn_failures", "spawn_waits",
     "threads_completed", "mispredicts", "budget_kills",
 )
@@ -49,6 +50,10 @@ class SimStats:
         self.memory = memory
         self.cycles = 0
         self.main_instructions = 0
+        #: Main-thread instructions retired inside recovery stubs (between
+        #: a fired ``chk.c`` and its ``rfi``) — adaptation overhead; the
+        #: differential oracle compares ``main_instructions`` net of these.
+        self.main_stub_instructions = 0
         self.spec_instructions = 0
         self.cycle_breakdown: Dict[str, int] = {
             cat: 0 for cat in CYCLE_CATEGORIES}

@@ -321,6 +321,70 @@ def _report_command(argv: List[str]) -> int:
     return 0
 
 
+def _check_command(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ssp-postpass check",
+        description="Correctness checks over the adaptation pipeline: "
+                    "lint every workload's adapted binary (control-flow "
+                    "integrity, register discipline, trigger legality), "
+                    "run the cross-model differential oracle "
+                    "(interpreter / in-order / OOO), and optionally fuzz "
+                    "the whole pipeline with seeded random programs.")
+    parser.add_argument("workloads", nargs="*",
+                        help="workloads to check (default: the seven "
+                             "paper benchmarks)")
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "default"))
+    parser.add_argument("--budgets", action="store_true",
+                        help="also run the oracle's timing models with "
+                             "aggressive runaway-slice containment "
+                             "budgets enabled")
+    parser.add_argument("--fuzz", type=int, default=0, metavar="N",
+                        help="additionally fuzz N seeded random programs "
+                             "through the complete pipeline")
+    parser.add_argument("--fuzz-seed", type=int, default=20020617,
+                        metavar="SEED",
+                        help="base seed for --fuzz (case i uses SEED+i)")
+    args = parser.parse_args(argv)
+
+    from ..check import lint_program, run_fuzz, run_oracle
+
+    names = args.workloads or list(PAPER_ORDER)
+    failures = 0
+    for name in names:
+        artifacts = WorkloadArtifacts(name, args.scale)
+        result = artifacts.tool_result
+        if result.adapted is None:
+            print(f"{name:<12} {args.scale:<8} DEGRADED  "
+                  f"[guard] {result.guard.summary()}")
+            failures += 1
+            continue
+        violations = lint_program(artifacts.program,
+                                  result.adapted.program)
+        oracle = run_oracle(name, args.scale, budgets=args.budgets,
+                            artifacts=artifacts)
+        status = "ok" if not violations and oracle.ok else "FAIL"
+        print(f"{name:<12} {args.scale:<8} {status}  "
+              f"lint: {len(violations)} violation(s), "
+              f"oracle: {len(oracle.checks)} check(s), "
+              f"{len(oracle.failures)} failure(s)")
+        for violation in violations:
+            print(f"  {violation}")
+        for failure in oracle.failures:
+            print(f"  {failure}")
+        if violations or not oracle.ok:
+            failures += 1
+    if args.fuzz:
+        report = run_fuzz(args.fuzz, base_seed=args.fuzz_seed)
+        print(report.summary())
+        if not report.ok:
+            failures += 1
+    print(f"check: {'ok' if not failures else 'FAILED'} "
+          f"({len(names)} workload(s)"
+          + (f", {args.fuzz} fuzz case(s)" if args.fuzz else "") + ")")
+    return EXIT_OK if not failures else EXIT_FAILURE
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:  # pragma: no cover - console entry point
         argv = sys.argv[1:]
@@ -328,6 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_command(argv[1:])
     if argv and argv[0] == "report":
         return _report_command(argv[1:])
+    if argv and argv[0] == "check":
+        return _check_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="ssp-postpass",

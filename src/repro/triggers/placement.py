@@ -69,17 +69,21 @@ def _last_live_in_def_index(func: Function, label: str,
 
 def _place_in_block(func: Function, label: str,
                     live_ins: Set[str]) -> TriggerPoint:
-    """Trigger after the last live-in producer in ``label`` (or at the
-    block end, before its terminator, when none is produced there)."""
-    block = func.block(label)
+    """Trigger after the last live-in producer in ``label``.
+
+    When no instruction in the block produces a live-in, every live-in is
+    already available on block entry (formals, or values produced in a
+    dominator), so the trigger goes at the block *start* — the earliest
+    legal point, which maximises slack.  Placing it at the block end
+    instead would move it past whatever the block computes, including —
+    for a procedure whose delinquent load sits in its entry block — past
+    the very load the slice prefetches for, making the prefetch
+    permanently late.
+    """
     after_def = _last_live_in_def_index(func, label, live_ins)
     if after_def is not None:
         return TriggerPoint(func.name, label, after_def)
-    end = len(block.instrs)
-    if block.instrs and (block.instrs[-1].is_branch
-                         or block.instrs[-1].is_terminator):
-        end -= 1
-    return TriggerPoint(func.name, label, end)
+    return TriggerPoint(func.name, label, 0)
 
 
 def _hoisted_placement(func: Function, cfg: CFG, start_label: str,

@@ -163,3 +163,160 @@ class TestSlackProperties:
         low = reduced_miss_cycles(slack, trips, miss)
         high = reduced_miss_cycles(slack * 2, trips, miss)
         assert high >= low - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Round trips: asm parse <-> emit, SimStats to_dict <-> from_dict.
+# ---------------------------------------------------------------------------
+
+_REG = st.integers(1, 120).map("r{}".format)
+_PRED = st.integers(1, 60).map("p{}".format)
+_IMM = st.integers(-4096, 1 << 20)
+
+
+@st.composite
+def random_instruction(draw, fb):
+    """Emit one random (non-control-flow) instruction via the builder."""
+    kind = draw(st.sampled_from(
+        ["alu", "mov", "mov_imm", "load", "store", "cmp", "nop",
+         "prefetch", "lib_store", "lib_load"]))
+    pred = draw(st.one_of(st.none(), _PRED))
+    if kind == "alu":
+        fb.add(draw(_REG), draw(_REG), dest=draw(_REG), pred=pred)
+    elif kind == "mov":
+        fb.mov(draw(_REG), dest=draw(_REG), pred=pred)
+    elif kind == "mov_imm":
+        fb.mov_imm(draw(_IMM), dest=draw(_REG), pred=pred)
+    elif kind == "load":
+        fb.load(draw(_REG), draw(st.integers(0, 56)), dest=draw(_REG),
+                pred=pred)
+    elif kind == "store":
+        fb.store(draw(_REG), draw(_REG), pred=pred)
+    elif kind == "cmp":
+        from repro.isa.instructions import CMP_RELATIONS
+        fb.cmp(draw(st.sampled_from(sorted(CMP_RELATIONS))), draw(_REG),
+               imm=draw(_IMM), dest=draw(_PRED))
+    elif kind == "prefetch":
+        fb.prefetch(draw(_REG), draw(st.integers(0, 56)), pred=pred)
+    elif kind == "lib_store":
+        fb.lib_store(draw(st.integers(0, 15)), draw(_REG))
+    elif kind == "lib_load":
+        fb.lib_load(draw(st.integers(0, 15)), dest=draw(_REG))
+    else:
+        fb.nop()
+
+
+@st.composite
+def random_program(draw):
+    """A random multi-block, multi-function program."""
+    prog = Program(entry="main")
+    num_funcs = draw(st.integers(1, 2))
+    for fi in range(num_funcs):
+        name = "main" if fi == 0 else f"fn{fi}"
+        fb = FunctionBuilder(prog.add_function(
+            name, num_params=draw(st.integers(0, 2))))
+        num_blocks = draw(st.integers(1, 3))
+        for bi in range(num_blocks):
+            if bi > 0:
+                fb.label(f"b{bi}")
+            for _ in range(draw(st.integers(0, 5))):
+                draw(random_instruction(fb))
+            if bi + 1 < num_blocks and draw(st.booleans()):
+                fb.br_cond(draw(_PRED), f"b{bi + 1}")
+        if name == "main":
+            fb.halt()
+        else:
+            fb.ret(draw(_REG))
+    # Finalised listings carry code addresses; the parser strips them, so
+    # finalise before disassembling to make the round trip a fixpoint.
+    prog.finalize()
+    return prog
+
+
+class TestAsmRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(random_program())
+    def test_parse_emit_fixpoint(self, prog):
+        """disassemble -> parse -> disassemble is the identity."""
+        from repro.isa.asm import round_trip
+
+        text = prog.disassemble()
+        assert round_trip(prog).disassemble() == text
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_program())
+    def test_parsed_program_preserves_structure(self, prog):
+        from repro.isa.asm import parse_assembly
+
+        parsed = parse_assembly(prog.disassemble(), entry=prog.entry)
+        assert sorted(parsed.functions) == sorted(prog.functions)
+        for name, func in prog.functions.items():
+            other = parsed.functions[name]
+            assert [b.label for b in other.blocks] == \
+                [b.label for b in func.blocks]
+            for b1, b2 in zip(func.blocks, other.blocks):
+                assert [str(i) for i in b2.instrs] == \
+                    [str(i) for i in b1.instrs]
+
+
+_LEVELS = ("L1", "L2", "L3", "MEM")
+
+
+@st.composite
+def random_stats(draw):
+    from repro.sim.caches import LoadStats, PrefetchStats
+    from repro.sim.config import MachineConfig
+    from repro.sim.caches import MemorySystem
+    from repro.sim.stats import CYCLE_CATEGORIES, _SCALAR_FIELDS, SimStats
+
+    stats = SimStats(MemorySystem(MachineConfig()))
+    count = st.integers(0, 1 << 30)
+    for name in _SCALAR_FIELDS:
+        setattr(stats, name, draw(count))
+    for cat in CYCLE_CATEGORIES:
+        stats.cycle_breakdown[cat] = draw(count)
+    mem = stats.memory
+    for uid in draw(st.lists(st.integers(0, 500), unique=True,
+                             max_size=5)):
+        ls = LoadStats()
+        ls.accesses = draw(count)
+        for lvl in _LEVELS:
+            ls.hits[lvl] = draw(count)
+        for lvl in _LEVELS[1:]:
+            ls.partials[lvl] = draw(count)
+        ls.miss_cycles = draw(count)
+        ls.prefetch_timely = draw(count)
+        ls.prefetch_late = draw(count)
+        mem.load_stats[uid] = ls
+    for uid in draw(st.lists(st.integers(501, 900), unique=True,
+                             max_size=4)):
+        ps = PrefetchStats()
+        ps.issued = draw(count)
+        ps.useful = draw(count)
+        mem.prefetch_stats[uid] = ps
+        mem.prefetch_sources[uid] = draw(st.integers(0, 500))
+    mem.tlb_misses = draw(count)
+    mem.prefetches_issued = draw(count)
+    mem.prefetches_dropped = draw(count)
+    return stats
+
+
+class TestSimStatsRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(random_stats())
+    def test_to_dict_from_dict_fixpoint(self, stats):
+        from repro.sim.stats import SimStats
+
+        snapshot = stats.to_dict()
+        rebuilt = SimStats.from_dict(snapshot)
+        assert rebuilt.to_dict() == snapshot
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_stats())
+    def test_json_safe(self, stats):
+        import json
+
+        payload = json.dumps(stats.to_dict())
+        from repro.sim.stats import SimStats
+        rebuilt = SimStats.from_dict(json.loads(payload))
+        assert rebuilt.to_dict() == stats.to_dict()

@@ -163,3 +163,72 @@ class TestStatistics:
         r2 = m.access(0x2000, r.ready + 1, 5, True)
         assert r2.level == MEM  # cold again
         assert m.load_stats[5].accesses == 2
+
+
+class TestPrefetchAttribution:
+    """Regression tests for prefetch credit and counter consistency."""
+
+    @staticmethod
+    def tiny_mem():
+        """Single-line caches at every level: any second line evicts."""
+        import dataclasses
+        cfg = dataclasses.replace(
+            inorder_config(),
+            l1=CacheConfig(64, 1, 1), l2=CacheConfig(64, 1, 6),
+            l3=CacheConfig(64, 1, 14))
+        return MemorySystem(cfg)
+
+    def test_store_demand_fill_preserves_prefetch_credit(self):
+        """A main-thread store's demand fill must not discard the pending
+        timely-prefetch credit; the first main-thread *load* touch of the
+        line consumes it (store-then-load patterns)."""
+        m = self.tiny_mem()
+        m.access(0x4000, 0, 99, is_main=False, is_prefetch=True)
+        m.access(0x8000, 500, 1, is_main=True)  # evicts the line everywhere
+        m.access(0x4000, 1000, 2, is_main=True, is_store=True)  # miss+fill
+        r = m.access(0x4000, 1010, 3, is_main=True)  # load rides the fill
+        assert r.partial
+        assert m.load_stats[3].prefetch_late == 1
+        assert m.prefetch_stats[99].useful == 1
+
+    def test_load_after_store_hit_gets_timely_credit(self):
+        m = mem()
+        pf = m.access(0x4000, 0, 99, is_main=False, is_prefetch=True)
+        m.access(0x4000, pf.ready + 1, 2, is_main=True, is_store=True)
+        r = m.access(0x4000, pf.ready + 2, 3, is_main=True)
+        assert r.level == L1 and not r.partial
+        assert m.load_stats[3].prefetch_timely == 1
+        assert m.prefetch_stats[99].useful == 1
+
+    def test_slice_load_counts_in_global_counter(self):
+        """An emitter-mapped speculative chase load is a prefetch for its
+        source; the global counter and the per-static counter agree."""
+        m = mem()
+        m.prefetch_sources[50] = 7
+        m.access(0x4000, 0, 50, is_main=False)
+        assert m.prefetches_issued == 1
+        assert m.prefetch_stats[50].issued == 1
+
+    def test_perfect_memory_counts_issues(self):
+        m = MemorySystem(inorder_config().with_perfect_memory())
+        m.access(0x4000, 0, 99, is_main=False, is_prefetch=True)
+        assert m.prefetches_issued == 1
+        assert m.prefetch_stats[99].issued == 1
+
+    def test_perfect_load_uids_branch_counts_issues(self):
+        m = MemorySystem(inorder_config().with_perfect_loads({50}))
+        m.prefetch_sources[50] = 7
+        m.access(0x4000, 0, 50, is_main=False)
+        assert m.prefetches_issued == 1
+        assert m.prefetch_stats[50].issued == 1
+
+    def test_global_counter_equals_per_static_sum(self):
+        m = mem()
+        m.prefetch_sources[50] = 7
+        m.access(0x4000, 0, 50, is_main=False)        # mapped slice load
+        m.access(0x8000, 5, 60, is_main=False, is_prefetch=True)  # lfetch
+        m.access(0xc000, 9, 61, is_main=True, is_prefetch=True)   # main lfetch
+        m.access(0x2000, 12, 5, is_main=True)         # plain demand load
+        assert m.prefetches_issued == 3
+        assert m.prefetches_issued == sum(
+            ps.issued for ps in m.prefetch_stats.values())
