@@ -12,13 +12,16 @@ from .errors import (
     DROP_LOAD,
     DROP_SLICE,
     ERROR,
+    FALLBACK,
     FATAL,
     ROLLBACK,
     WARNING,
+    CheckpointError,
     CodegenError,
     Diagnostic,
     GuardError,
     GuardReport,
+    ResourceBudgetError,
     ScheduleError,
     SliceError,
     STAGE_ERRORS,
@@ -34,9 +37,10 @@ from .faultinject import (
 )
 
 __all__ = [
-    "ABORT", "DROP_LOAD", "DROP_SLICE", "ERROR", "FATAL", "ROLLBACK",
-    "WARNING", "Boundary", "CodegenError", "Diagnostic", "FaultInjector",
-    "FaultSpec", "GuardError", "GuardReport", "InjectedFault",
+    "ABORT", "DROP_LOAD", "DROP_SLICE", "ERROR", "FALLBACK", "FATAL",
+    "ROLLBACK", "WARNING", "Boundary", "CheckpointError", "CodegenError",
+    "Diagnostic", "FaultInjector", "FaultSpec", "GuardError",
+    "GuardReport", "InjectedFault", "ResourceBudgetError",
     "ScheduleError", "SliceError", "STAGE_ERRORS", "SITES", "VerifyError",
     "describe_sites", "injecting", "recovery_boundary",
 ]

@@ -39,6 +39,8 @@ DROP_SLICE = "drop-slice"
 ROLLBACK = "rollback"
 #: Abandon the adaptation entirely (no-op result, never an exception).
 ABORT = "abort"
+#: Fall back to older good state (previous checkpoint, or a fresh run).
+FALLBACK = "fallback"
 
 
 class GuardError(Exception):
@@ -85,6 +87,30 @@ class VerifyError(GuardError):
 
     stage = "verify"
     policy = ROLLBACK
+
+
+class CheckpointError(GuardError):
+    """A checkpoint is unusable (corrupt, truncated, wrong version/model).
+
+    The execution layer never trusts a damaged checkpoint: restore refuses
+    it and the runner falls back to the previous checkpoint, or to a fresh
+    run when none survives.
+    """
+
+    stage = "resilience"
+    policy = FALLBACK
+
+
+class ResourceBudgetError(GuardError):
+    """A run blew its wall-clock or RSS budget mid-execution.
+
+    The supervisor reacts by stepping the spec down the graceful-
+    degradation ladder (chaining SP → basic SP → top-1 delinquent load →
+    unadapted binary) rather than by retrying the same work.
+    """
+
+    stage = "resilience"
+    policy = FALLBACK
 
 
 #: Stage name -> the error class a boundary wraps foreign exceptions into.

@@ -41,6 +41,12 @@ SITES: Dict[str, str] = {
         "an on-disk cache entry is overwritten with garbage before a read",
     "cache.truncate":
         "an on-disk cache entry is truncated to half before a read",
+    "checkpoint.corrupt":
+        "an on-disk checkpoint has one byte flipped before a resume read",
+    "worker.hang":
+        "a supervised worker stops heartbeating (watchdog kill/retry path)",
+    "worker.oom":
+        "a supervised worker dies of memory exhaustion (MemoryError)",
 }
 
 
@@ -144,6 +150,20 @@ def check(site: str) -> None:
     """Raise :class:`InjectedFault` if the active injector fires ``site``."""
     if _ACTIVE is not None:
         _ACTIVE.check(site)
+
+
+def sync_fired(site: str, count: int) -> None:
+    """Force ``site``'s fired-count to ``count`` (cross-process chaos).
+
+    Supervised runner workers execute in freshly-forked processes, so a
+    child's fired-count increments never reach the parent: a
+    ``times``-bounded plan would otherwise fire in *every* retry forever.
+    The supervisor aligns each worker's count with the attempt number
+    before the site is consulted, restoring "fire at most N times"
+    semantics across process boundaries.
+    """
+    if _ACTIVE is not None and site in _ACTIVE.fired:
+        _ACTIVE.fired[site] = count
 
 
 @contextmanager

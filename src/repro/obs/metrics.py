@@ -61,8 +61,16 @@ def delinquent_rows(tool_result, stats=None,
 def collect_metrics(workload: str, scale: str, model: str,
                     profile=None, tool_result=None, stats=None,
                     baseline_cycles: Optional[int] = None,
-                    tracer=None, telemetry=None) -> Dict[str, Any]:
-    """Assemble the observability metrics document for one run."""
+                    tracer=None, telemetry=None,
+                    resilience: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
+    """Assemble the observability metrics document for one run.
+
+    ``resilience`` is the per-run supervisor metadata from
+    ``RunResult.metrics["resilience"]`` (ladder step, watchdog kills,
+    checkpoint/resume counts); aggregate resilience counters arrive via
+    ``telemetry`` under ``doc["runner"]["resilience"]``.
+    """
     doc: Dict[str, Any] = {
         "schema": METRICS_SCHEMA,
         "workload": workload,
@@ -114,4 +122,6 @@ def collect_metrics(workload: str, scale: str, model: str,
         doc["sim"] = sim
     if telemetry is not None:
         doc["runner"] = telemetry.snapshot()
+    if resilience is not None:
+        doc["resilience"] = dict(resilience)
     return doc

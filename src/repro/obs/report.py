@@ -132,4 +132,29 @@ def render_report(metrics: Dict[str, Any]) -> str:
                      f"({100 * runner['hit_rate']:.0f}% hit rate), "
                      f"sim wall {runner['sim_wall_time']:.2f}s "
                      f"(saved {runner['saved_wall_time']:.2f}s)")
+        resilience = runner.get("resilience")
+        if resilience and any(resilience.values()):
+            lines.append(
+                "resilience: "
+                f"checkpoints={resilience['checkpoints']} "
+                f"resumes={resilience['resumes']} "
+                f"watchdog kills={resilience['watchdog_kills']} "
+                f"breaker trips={resilience['circuit_trips']} "
+                f"degraded={resilience['degraded_runs']} "
+                f"skipped={resilience['skips']}")
+
+    run_meta = metrics.get("resilience")
+    if run_meta:
+        lines.append("")
+        parts = [f"ladder step={run_meta.get('ladder_step', 'full')}"]
+        if run_meta.get("watchdog_kills"):
+            parts.append(f"watchdog kills={run_meta['watchdog_kills']}")
+        if run_meta.get("serial"):
+            parts.append("breaker tripped to serial")
+        if run_meta.get("checkpoints"):
+            parts.append(f"checkpoints={run_meta['checkpoints']}")
+        if run_meta.get("resumed_from_cycle") is not None:
+            parts.append(
+                f"resumed from cycle {run_meta['resumed_from_cycle']}")
+        lines.append("run resilience: " + "  ".join(parts))
     return "\n".join(lines)

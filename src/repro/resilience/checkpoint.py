@@ -1,0 +1,255 @@
+"""Versioned, checksummed, crash-safe checkpoint files.
+
+A checkpoint carries a simulator ``snapshot()`` (pickle) wrapped in a
+self-describing envelope::
+
+    MAGIC(8) | header_len(4, big-endian) | header(JSON, utf-8) | payload
+    | sha256(everything before the digest)(32)
+
+The trailing digest covers every preceding byte — magic, length, header
+and payload — so flipping *any* byte of the file makes :meth:`load`
+refuse it with a :class:`~repro.guard.errors.CheckpointError` rather
+than resuming from damaged state.  The header records the format
+version, the code-version salt (checkpoints from a different source
+tree are stale, not wrong — they are refused the same way), the spec's
+content hash, and the cycle count for ``repro runs`` listings.
+
+Durability: writes go to a temp file in the same directory, are
+``fsync``'d, then ``os.replace``'d over the destination; the previous
+checkpoint is first rotated to ``*.prev`` so a crash *during* the
+rotation still leaves one intact generation on disk.  :meth:`load`
+tries current-then-prev and falls back to ``None`` (fresh run) only
+when neither survives validation.
+
+The ``checkpoint.corrupt`` fault-injection site flips one byte of the
+current file just before a resume read, exercising exactly this
+refuse-and-fall-back path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import struct
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..guard import faultinject
+from ..guard.errors import CheckpointError
+
+MAGIC = b"RPRCKPT1"
+#: Bump when the envelope layout changes; older files are refused.
+CHECKPOINT_FORMAT = 1
+
+_LEN = struct.Struct(">I")
+_DIGEST_BYTES = 32
+
+#: Overrides the checkpoint root (useful for tests and CI).
+ENV_CHECKPOINT_DIR = "REPRO_CHECKPOINT_DIR"
+_DEFAULT_ROOT = Path(".repro-cache") / "checkpoints"
+
+
+def _fsync_dir(path: Path) -> None:
+    """Durably record a rename in its directory (best-effort off-POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows directories
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class CheckpointStore:
+    """Atomic checkpoint files for resumable runs, keyed by spec hash.
+
+    Files live under ``<root>/<code-version>/<key>.ckpt`` — the same
+    source-digest salting the result cache uses, so editing the
+    simulator invalidates old checkpoints wholesale instead of letting
+    them resume into incompatible code.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 salt: Optional[str] = None):
+        if root is None:
+            root = Path(os.environ.get(ENV_CHECKPOINT_DIR, _DEFAULT_ROOT))
+        if salt is None:
+            # Lazy: runner.cache imports nothing from resilience, but the
+            # reverse top-level import would tie the packages in a cycle.
+            from ..runner.cache import code_version
+            salt = code_version()
+        self.root = Path(root)
+        self.salt = salt
+        self.dir = self.root / salt
+
+    # -- paths -------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.dir / f"{key}.ckpt"
+
+    def _prev_for(self, key: str) -> Path:
+        return self.dir / f"{key}.ckpt.prev"
+
+    # -- write -------------------------------------------------------------------
+
+    def save(self, key: str, payload: Dict[str, object], *,
+             cycle: int, label: str = "") -> Path:
+        """Atomically write a new checkpoint generation for ``key``."""
+        header = {
+            "format": CHECKPOINT_FORMAT,
+            "code_version": self.salt,
+            "key": key,
+            "label": label,
+            "cycle": int(cycle),
+            "created": time.time(),
+        }
+        blob = self._encode(header, payload)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        dest = self.path_for(key)
+        tmp = dest.with_name(dest.name + f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        # Rotate the old generation aside before replacing: if we die
+        # between the two renames, *.prev still validates and loads.
+        if dest.exists():
+            os.replace(dest, self._prev_for(key))
+        os.replace(tmp, dest)
+        _fsync_dir(self.dir)
+        return dest
+
+    @staticmethod
+    def _encode(header: Dict[str, object],
+                payload: Dict[str, object]) -> bytes:
+        header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        buf = io.BytesIO()
+        buf.write(MAGIC)
+        buf.write(_LEN.pack(len(header_bytes)))
+        buf.write(header_bytes)
+        buf.write(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        body = buf.getvalue()
+        return body + hashlib.sha256(body).digest()
+
+    # -- read --------------------------------------------------------------------
+
+    def load(self, key: str, errors: Optional[List[str]] = None
+             ) -> Optional[Tuple[Dict[str, object], Dict[str, object]]]:
+        """Return ``(payload, header)`` for the newest intact generation.
+
+        Tries the current file, then the ``.prev`` rotation; records each
+        refusal in ``errors`` (if given) and returns ``None`` when no
+        generation survives — the caller starts a fresh run.
+        """
+        self._maybe_corrupt(self.path_for(key))
+        for path in (self.path_for(key), self._prev_for(key)):
+            try:
+                return self.read_file(path)
+            except FileNotFoundError:
+                continue
+            except CheckpointError as exc:
+                if errors is not None:
+                    errors.append(f"{path.name}: {exc}")
+        return None
+
+    def read_file(self, path: Path
+                  ) -> Tuple[Dict[str, object], Dict[str, object]]:
+        """Decode and validate one checkpoint file.
+
+        Raises :class:`CheckpointError` on any damage or version skew and
+        :class:`FileNotFoundError` when the file is absent.
+        """
+        data = Path(path).read_bytes()
+        if len(data) < len(MAGIC) + _LEN.size + _DIGEST_BYTES:
+            raise CheckpointError(f"checkpoint {path} is truncated "
+                                  f"({len(data)} bytes)")
+        body, digest = data[:-_DIGEST_BYTES], data[-_DIGEST_BYTES:]
+        if hashlib.sha256(body).digest() != digest:
+            raise CheckpointError(f"checkpoint {path} fails its sha256 "
+                                  f"integrity check")
+        if body[:len(MAGIC)] != MAGIC:
+            raise CheckpointError(f"checkpoint {path} has bad magic "
+                                  f"{body[:len(MAGIC)]!r}")
+        header_len = _LEN.unpack_from(body, len(MAGIC))[0]
+        header_end = len(MAGIC) + _LEN.size + header_len
+        if header_end > len(body):
+            raise CheckpointError(f"checkpoint {path} header overruns "
+                                  f"the file")
+        try:
+            header = json.loads(body[len(MAGIC) + _LEN.size:header_end])
+        except ValueError as exc:
+            raise CheckpointError(f"checkpoint {path} header is not "
+                                  f"valid JSON: {exc}") from exc
+        if header.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"checkpoint {path} has format "
+                f"{header.get('format')!r}, expected {CHECKPOINT_FORMAT}")
+        if header.get("code_version") != self.salt:
+            raise CheckpointError(
+                f"checkpoint {path} was written by code version "
+                f"{header.get('code_version')!r} (current {self.salt!r})")
+        try:
+            # The digest already proved the bytes intact, so unpickling
+            # here only ever sees what *we* wrote.
+            payload = pickle.loads(body[header_end:])
+        except Exception as exc:
+            raise CheckpointError(f"checkpoint {path} payload does not "
+                                  f"unpickle: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"checkpoint {path} payload has type "
+                                  f"{type(payload).__name__}, expected dict")
+        return payload, header
+
+    @staticmethod
+    def _maybe_corrupt(path: Path) -> None:
+        """``checkpoint.corrupt`` site: flip one byte before the read."""
+        if not faultinject.fires("checkpoint.corrupt"):
+            return
+        try:
+            data = bytearray(path.read_bytes())
+        except OSError:
+            return
+        if data:
+            data[len(data) // 2] ^= 0xFF
+            path.write_bytes(bytes(data))
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def discard(self, key: str) -> None:
+        """Drop every generation for ``key`` (run completed or abandoned)."""
+        for path in (self.path_for(key), self._prev_for(key)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def list_runs(self) -> List[Dict[str, object]]:
+        """Describe resumable checkpoints (for ``repro runs``).
+
+        One entry per current-generation file, newest first; entries that
+        fail validation are listed with ``valid: False`` and the refusal
+        reason so a damaged run is visible, not silently absent.
+        """
+        if not self.dir.is_dir():
+            return []
+        out: List[Dict[str, object]] = []
+        for path in sorted(self.dir.glob("*.ckpt")):
+            entry: Dict[str, object] = {"path": str(path),
+                                        "key": path.stem, "valid": True}
+            try:
+                _, header = self.read_file(path)
+            except (CheckpointError, OSError) as exc:
+                entry["valid"] = False
+                entry["error"] = str(exc)
+            else:
+                entry.update(label=header.get("label", ""),
+                             cycle=header.get("cycle", 0),
+                             created=header.get("created", 0.0))
+            out.append(entry)
+        out.sort(key=lambda e: e.get("created", 0.0), reverse=True)
+        return out

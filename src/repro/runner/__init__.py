@@ -16,11 +16,13 @@ from .cache import ResultCache, code_version
 from .telemetry import RunnerTelemetry
 from .executor import Runner, RunnerError, RunResult
 from .worker import (
+    WorkerTask,
     WorkloadArtifacts,
     artifacts_for,
     clear_artifact_cache,
     config_for,
     execute_spec,
+    execute_task,
 )
 
 __all__ = [
@@ -28,6 +30,6 @@ __all__ = [
     "ResultCache", "code_version",
     "RunnerTelemetry",
     "Runner", "RunnerError", "RunResult",
-    "WorkloadArtifacts", "artifacts_for", "clear_artifact_cache",
-    "config_for", "execute_spec",
+    "WorkerTask", "WorkloadArtifacts", "artifacts_for",
+    "clear_artifact_cache", "config_for", "execute_spec", "execute_task",
 ]

@@ -15,6 +15,7 @@ round-trips every statistic the experiments read.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import hashlib
 import json
@@ -22,6 +23,11 @@ import os
 import time
 from pathlib import Path
 from typing import Dict, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    fcntl = None
 
 from ..guard import faultinject
 from .spec import RunSpec
@@ -110,7 +116,8 @@ class ResultCache:
         """Move a bad entry aside so the next run re-simulates it."""
         bad = path.with_name(path.name + QUARANTINE_SUFFIX)
         try:
-            os.replace(path, bad)
+            with self._entry_lock(path):
+                os.replace(path, bad)
         except OSError:  # pragma: no cover - racing delete
             return None
         return bad
@@ -125,10 +132,42 @@ class ResultCache:
             data = path.read_bytes()
             path.write_bytes(data[:len(data) // 2])
 
+    @contextlib.contextmanager
+    def _entry_lock(self, path: Path):
+        """Advisory per-entry lock serialising concurrent writers.
+
+        Two runners putting the same spec hash each write their own temp
+        file, so the rename itself is safe — but without a lock their
+        ``os.replace`` calls can interleave with a concurrent quarantine
+        of the same path and resurrect a corrupt entry.  The lock file
+        lives beside the entry (``<hash>.json.lock``) and is advisory:
+        hosts without ``fcntl`` fall back to plain atomic-rename safety.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX hosts
+            yield
+            return
+        lock_path = path.with_name(path.name + ".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
     def put(self, spec: RunSpec, stats_dict: Dict,
             wall_time: float = 0.0,
             metrics: Optional[Dict] = None) -> Path:
-        """Store a result atomically (write-to-temp then rename)."""
+        """Store a result crash-safely.
+
+        The entry is written to a private temp file, flushed and
+        ``fsync``'d, then atomically renamed over the destination while
+        holding the entry's advisory lock — a reader (or a crash at any
+        instant) sees either the old complete entry or the new complete
+        entry, never a torn one.
+        """
         path = self._path(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -144,7 +183,10 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(entry, fh, sort_keys=True)
-        os.replace(tmp, path)
+            fh.flush()
+            os.fsync(fh.fileno())
+        with self._entry_lock(path):
+            os.replace(tmp, path)
         return path
 
     # -- maintenance -----------------------------------------------------------------
@@ -193,6 +235,10 @@ class ResultCache:
                 for path in gen.glob(pattern):
                     path.unlink()
                     removed += 1
+            # Advisory lock files are housekeeping, not cached results:
+            # removed silently so the count stays "results deleted".
+            for path in gen.glob("*.json.lock"):
+                path.unlink()
             try:
                 gen.rmdir()
             except OSError:  # pragma: no cover - non-cache files present

@@ -25,13 +25,16 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..sim.stats import SimStats
 from .cache import ResultCache
 from .spec import RunSpec
 from .telemetry import RunnerTelemetry
 from .worker import execute_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.supervisor import ResilienceConfig
 
 #: Sentinel meaning "build the default cache from the environment".
 _DEFAULT_CACHE = object()
@@ -69,7 +72,8 @@ class Runner:
                  timeout: Optional[float] = None,
                  retries: int = 1,
                  telemetry: Optional[RunnerTelemetry] = None,
-                 task_fn: Callable[[RunSpec], Dict] = execute_spec):
+                 task_fn: Callable[[RunSpec], Dict] = execute_spec,
+                 resilience: Optional["ResilienceConfig"] = None):
         """
         Args:
             jobs: worker processes; 1 runs everything in-process.
@@ -82,6 +86,10 @@ class Runner:
             telemetry: shared counters; a fresh instance by default.
             task_fn: the unit of work (overridable for tests); must be a
                 picklable module-level callable for parallel execution.
+            resilience: when given, cache misses execute under the
+                :class:`~repro.resilience.supervisor.Supervisor`
+                (heartbeat watchdog, checkpoint/resume, circuit breaker,
+                degradation ladder) instead of the plain pool.
         """
         self.jobs = max(1, int(jobs))
         self.cache: Optional[ResultCache] = (
@@ -91,6 +99,7 @@ class Runner:
         self.retries = max(0, int(retries))
         self.telemetry = telemetry or RunnerTelemetry()
         self.task_fn = task_fn
+        self.resilience = resilience
 
     # -- public API ------------------------------------------------------------------
 
@@ -124,7 +133,9 @@ class Runner:
                 by_hash[digest] = RunResult(spec)
                 pending.append(spec)
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
+            if self.resilience is not None:
+                executed = self._run_supervised(pending)
+            elif self.jobs > 1 and len(pending) > 1:
                 executed = self._run_parallel(pending)
             else:
                 executed = [self._run_serial(spec) for spec in pending]
@@ -237,3 +248,71 @@ class Runner:
             return self._fail(spec, error, 1)
         result = self._run_serial(spec, first_attempt=2)
         return result
+
+    # -- supervised execution --------------------------------------------------------
+
+    def _run_supervised(self, specs: List[RunSpec]) -> List[RunResult]:
+        """Execute under the resilience supervisor (watchdog, checkpoints,
+        circuit breaker, degradation ladder).
+
+        A degraded run's payload is cached under the **degraded** spec's
+        own content hash — never the original's — so a later request for
+        the full-capability spec is an honest cache miss.
+        """
+        # Lazy: repro.resilience imports runner modules at load time; a
+        # top-level import here would close the cycle.
+        from ..resilience.supervisor import Supervisor
+        from .worker import WorkerTask, execute_task
+
+        cfg = self.resilience
+
+        def make_task(spec, attempt, heartbeat_path, resume,
+                      hang_seconds):
+            return WorkerTask(spec=spec, attempt=attempt,
+                              heartbeat_path=heartbeat_path,
+                              checkpoint_every=cfg.checkpoint_every,
+                              resume=resume, deadline=cfg.deadline,
+                              rss_budget_mb=cfg.rss_budget_mb,
+                              hang_seconds=hang_seconds,
+                              sync_faults=True)
+
+        supervisor = Supervisor(cfg, task_fn=execute_task,
+                                make_task=make_task, jobs=self.jobs,
+                                telemetry=self.telemetry)
+        results = []
+        for outcome in supervisor.run(specs):
+            meta: Dict = {
+                "ladder_step": outcome.ladder_step,
+                "watchdog_kills": outcome.watchdog_kills,
+                "serial": outcome.serial,
+                "skipped": outcome.skipped,
+            }
+            if outcome.reasons:
+                meta["reasons"] = list(outcome.reasons)
+            if outcome.executed_spec is not outcome.spec:
+                meta["executed_spec"] = outcome.executed_spec.key()
+            if outcome.payload is None:
+                error = outcome.error or "skipped by supervisor"
+                self.telemetry.record_failure(outcome.spec.label(),
+                                              error, outcome.attempts)
+                results.append(RunResult(
+                    outcome.spec, attempts=outcome.attempts, error=error,
+                    metrics={"resilience": meta}))
+                continue
+            payload = outcome.payload
+            meta.update(payload.get("resilience") or {})
+            wall = payload.get("wall_time", 0.0)
+            metrics = dict(payload.get("metrics") or {})
+            metrics["resilience"] = meta
+            if self.cache is not None:
+                self.cache.put(outcome.executed_spec, payload["stats"],
+                               wall, metrics=metrics)
+            self.telemetry.record_complete(
+                outcome.spec.label(), wall, outcome.attempts,
+                outcome.spec.content_hash())
+            results.append(RunResult(
+                outcome.spec,
+                stats=SimStats.from_dict(payload["stats"]),
+                wall_time=wall, attempts=outcome.attempts,
+                stats_dict=payload["stats"], metrics=metrics))
+        return results

@@ -99,6 +99,22 @@ class RunSpec:
                    config_overrides=freeze_overrides(config_overrides),
                    max_cycles=max_cycles)
 
+    def derive(self, **changes: Any) -> "RunSpec":
+        """A copy with rich-typed field replacements (options re-frozen).
+
+        This is how the resilience ladder expresses degraded capability:
+        the derived spec has its own content hash, so degraded results
+        are cached under their own address and can never be mistaken for
+        the original run's.
+        """
+        if "tool_options" in changes:
+            changes["tool_options"] = freeze_options(
+                changes["tool_options"])
+        if "config_overrides" in changes:
+            changes["config_overrides"] = freeze_overrides(
+                changes["config_overrides"])
+        return dataclasses.replace(self, **changes)
+
     @property
     def effective_spawning(self) -> bool:
         if self.spawning is not None:

@@ -26,6 +26,13 @@ class RunnerTelemetry:
         self.retries = 0           # extra attempts after a failed one
         self.sim_wall_time = 0.0   # seconds spent inside simulations
         self.saved_wall_time = 0.0  # recorded cost of runs served cached
+        # Resilience accounting (supervised execution only).
+        self.watchdog_kills = 0    # hung workers killed by the watchdog
+        self.circuit_trips = 0     # specs forced from parallel to serial
+        self.degraded_runs = 0     # ladder descents (re-adapted down)
+        self.skips = 0             # specs skipped with a diagnostic
+        self.resumes = 0           # runs resumed from a checkpoint
+        self.checkpoints = 0       # checkpoint files written
         self.records: List[Dict] = []
 
     # -- event sinks -----------------------------------------------------------------
@@ -69,6 +76,31 @@ class RunnerTelemetry:
             self.retries += attempts - 1
         self._emit(f"FAIL {label} after {attempts} attempt(s): {error}")
 
+    # -- resilience events -----------------------------------------------------------
+
+    def record_watchdog_kill(self, label: str, reason: str) -> None:
+        self.watchdog_kills += 1
+        self._emit(f"kill {label} ({reason})")
+
+    def record_circuit_trip(self, label: str) -> None:
+        self.circuit_trips += 1
+        self._emit(f"trip {label} -> serial execution")
+
+    def record_degraded(self, label: str, step: str, kind: str) -> None:
+        self.degraded_runs += 1
+        self._emit(f"down {label} -> {step} (after {kind})")
+
+    def record_skip(self, label: str, reason: str) -> None:
+        self.skips += 1
+        self._emit(f"skip {label}: {reason}")
+
+    def record_resume(self, label: str, cycle: int) -> None:
+        self.resumes += 1
+        self._emit(f"res  {label} from checkpoint at cycle {cycle}")
+
+    def record_checkpoints(self, count: int) -> None:
+        self.checkpoints += count
+
     # -- reporting -------------------------------------------------------------------
 
     @property
@@ -90,6 +122,14 @@ class RunnerTelemetry:
             "hit_rate": self.hit_rate,
             "sim_wall_time": self.sim_wall_time,
             "saved_wall_time": self.saved_wall_time,
+            "resilience": {
+                "watchdog_kills": self.watchdog_kills,
+                "circuit_trips": self.circuit_trips,
+                "degraded_runs": self.degraded_runs,
+                "skips": self.skips,
+                "resumes": self.resumes,
+                "checkpoints": self.checkpoints,
+            },
         }
 
     def to_dict(self) -> Dict:
@@ -105,6 +145,15 @@ class RunnerTelemetry:
         ]
         if self.retries:
             parts.append(f"retries: {self.retries}")
+        if self.resumes or self.checkpoints:
+            parts.append(f"checkpoints: {self.checkpoints} written, "
+                         f"{self.resumes} resumed")
+        if self.watchdog_kills or self.circuit_trips or self.degraded_runs:
+            parts.append(f"resilience: {self.watchdog_kills} watchdog "
+                         f"kill(s), {self.circuit_trips} breaker trip(s), "
+                         f"{self.degraded_runs} degraded")
+        if self.skips:
+            parts.append(f"skips: {self.skips}")
         if self.failures:
             parts.append(f"FAILURES: {self.failures}")
         return "; ".join(parts)

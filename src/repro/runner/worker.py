@@ -6,6 +6,12 @@ module-level function of one picklable argument so it can cross a
 the spec alone — which is what makes parallel execution (and cache misses
 in a fresh process) self-contained.
 
+:func:`execute_task` is the supervised flavour: a :class:`WorkerTask`
+adds the resilience contract — heartbeats for the watchdog, periodic
+checkpoints, resume-from-checkpoint, and wall-clock/RSS budgets enforced
+at checkpoint boundaries.  ``execute_spec`` is ``execute_task`` with
+everything switched off, so both paths share one execution core.
+
 Expensive intermediate artifacts (profile, tool adaptation, hand binary)
 are memoised per process and per (workload, scale, tool options), so the
 many specs of one experiment share one profiling run and one adaptation
@@ -17,14 +23,19 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from ..guard import faultinject
+from ..guard.errors import CheckpointError, ResourceBudgetError
 from ..obs.tracer import NULL_TRACER
 from ..profiling.collect import collect_profile
 from ..profiling.profile import ProgramProfile
+from ..resilience.checkpoint import CheckpointStore
+from ..resilience.heartbeat import Heartbeat
 from ..sim.config import MachineConfig
-from ..sim.machine import make_config, simulate
+from ..sim.machine import make_config, make_simulator
 from ..tool.postpass import SSPPostPassTool, ToolOptions, ToolResult
 from ..workloads import make_workload
 from .spec import RunSpec
@@ -142,33 +153,156 @@ def config_for(spec: RunSpec,
     return config
 
 
-def execute_spec(spec: RunSpec) -> Dict[str, Any]:
-    """Run one spec to completion; returns ``{"stats": ..., "wall_time"}``.
+@dataclass
+class WorkerTask:
+    """One supervised execution attempt, as picklable data.
 
-    The stats value is the JSON-safe :meth:`SimStats.to_dict` form (not the
-    object) so the same payload crosses process boundaries and lands in
-    the result cache without re-serialisation.
+    The plain ``execute_spec`` path is ``WorkerTask(spec)`` with every
+    resilience feature off; the supervisor fills in the rest per attempt.
+    """
+
+    spec: RunSpec
+    attempt: int = 1
+    #: Heartbeat file this attempt keeps fresh (None = no heartbeats).
+    heartbeat_path: Optional[str] = None
+    #: Write a checkpoint every N simulated cycles (None = never).
+    checkpoint_every: Optional[int] = None
+    #: Start from the newest intact on-disk checkpoint, if any.
+    resume: bool = False
+    #: Soft wall-clock budget (seconds), checked at checkpoint cadence.
+    deadline: Optional[float] = None
+    #: Peak-RSS budget (MiB), checked at checkpoint cadence.
+    rss_budget_mb: Optional[float] = None
+    #: How long a fired ``worker.hang`` site sleeps.  >0 simulates a
+    #: real hang for the watchdog to kill; 0 raises immediately (serial
+    #: mode — there is no watchdog and a sleep would block the caller).
+    hang_seconds: float = 0.0
+    #: Align ``times``-bounded fault plans with the attempt number (set
+    #: by the supervisor; see :func:`faultinject.sync_fired`).
+    sync_faults: bool = False
+
+
+#: Cycle cadence for heartbeats/budget checks when the task wants them
+#: but checkpointing is off.
+_PROGRESS_CADENCE = 50_000
+
+#: Sites whose fired-counts follow the attempt number across the fork
+#: boundary (a child's increments never reach the parent).
+_WORKER_SITES = ("worker.hang", "worker.oom",
+                 "runner.worker_crash", "runner.worker_timeout")
+
+
+def _peak_rss_mb() -> Optional[float]:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX hosts
+        return None
+    # Linux reports ru_maxrss in KiB.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def execute_task(task: WorkerTask) -> Dict[str, Any]:
+    """Run one (possibly supervised) attempt to completion.
+
+    Returns the same payload shape as :func:`execute_spec` plus a
+    ``"resilience"`` record: checkpoints written, the cycle resumed
+    from (or None), and any checkpoint files refused as damaged.
     """
     started = time.perf_counter()
-    # Chaos sites: a worker that dies before doing any work, and a worker
-    # that hangs long enough to surface as a timeout.  Both propagate to
-    # the runner, which records the failure on the RunResult and moves on.
+    spec = task.spec
+    if task.sync_faults:
+        for site in _WORKER_SITES:
+            faultinject.sync_fired(site, task.attempt - 1)
+    heartbeat = (Heartbeat(Path(task.heartbeat_path))
+                 if task.heartbeat_path else None)
+    if heartbeat is not None:
+        heartbeat.beat(stage="start")
+    # Chaos sites: a worker that dies before doing any work, one that
+    # hangs long enough to surface as a timeout, one that stops
+    # heartbeating (watchdog path), and one that dies of memory
+    # exhaustion (ladder path).
     faultinject.check("runner.worker_crash")
     if faultinject.fires("runner.worker_timeout"):
         time.sleep(0.05)
         raise TimeoutError("injected fault at site 'runner.worker_timeout'")
+    if faultinject.fires("worker.hang"):
+        if task.hang_seconds > 0:
+            time.sleep(task.hang_seconds)
+        raise faultinject.InjectedFault(
+            "worker.hang", "injected fault at site 'worker.hang'")
+    if faultinject.fires("worker.oom"):
+        raise MemoryError("injected fault at site 'worker.oom'")
+
+    resilience: Dict[str, Any] = {"checkpoints": 0,
+                                  "resumed_from_cycle": None,
+                                  "checkpoint_errors": []}
+    store: Optional[CheckpointStore] = None
+    key = spec.content_hash()
+    if task.checkpoint_every or task.resume:
+        store = CheckpointStore()
+
     artifacts = artifacts_for(spec)
     program, heap_workload = artifacts.run_inputs(spec.variant)
     heap = heap_workload.build_heap()
-    stats = simulate(program, heap, spec.model,
-                     config=config_for(spec, artifacts),
-                     spawning=spec.effective_spawning,
-                     max_cycles=spec.max_cycles)
+    sim = make_simulator(program, heap, spec.model,
+                         config=config_for(spec, artifacts),
+                         spawning=spec.effective_spawning,
+                         max_cycles=spec.max_cycles)
+    if task.resume and store is not None:
+        errors: list = []
+        loaded = store.load(key, errors)
+        resilience["checkpoint_errors"] = errors
+        if loaded is not None:
+            state, header = loaded
+            try:
+                sim.restore(state["state"])
+            except (CheckpointError, KeyError) as exc:
+                resilience["checkpoint_errors"].append(str(exc))
+            else:
+                resilience["resumed_from_cycle"] = header.get("cycle", 0)
+
+    cadence = task.checkpoint_every
+    if cadence is None and (heartbeat is not None or task.deadline
+                            or task.rss_budget_mb):
+        cadence = _PROGRESS_CADENCE
+
+    def on_checkpoint(running_sim) -> None:
+        if heartbeat is not None:
+            heartbeat.beat(cycle=running_sim.cycle, stage="simulate")
+        if task.deadline is not None:
+            elapsed = time.perf_counter() - started
+            if elapsed > task.deadline:
+                raise ResourceBudgetError(
+                    f"{spec.label()} exceeded its {task.deadline}s "
+                    f"wall-clock budget at cycle {running_sim.cycle} "
+                    f"({elapsed:.1f}s elapsed)")
+        if task.rss_budget_mb is not None:
+            rss = _peak_rss_mb()
+            if rss is not None and rss > task.rss_budget_mb:
+                raise ResourceBudgetError(
+                    f"{spec.label()} exceeded its {task.rss_budget_mb} "
+                    f"MiB RSS budget at cycle {running_sim.cycle} "
+                    f"({rss:.0f} MiB peak)")
+        if store is not None and task.checkpoint_every:
+            store.save(key, {"state": running_sim.snapshot()},
+                       cycle=running_sim.cycle, label=spec.label())
+            resilience["checkpoints"] += 1
+
+    stats = sim.run(checkpoint_every=cadence, on_checkpoint=on_checkpoint)
     if spec.variant in _CHECKED_VARIANTS:
-        heap_workload.check_output(heap)
-    payload = {
+        # After a restore the live heap is the snapshot's, not the one
+        # this process built — always check what the simulator ran on.
+        heap_workload.check_output(sim.heap)
+    if store is not None:
+        # The run completed; its checkpoints have served their purpose.
+        store.discard(key)
+    if heartbeat is not None:
+        heartbeat.beat(cycle=stats.cycles, stage="done")
+
+    payload: Dict[str, Any] = {
         "stats": stats.to_dict(),
         "wall_time": time.perf_counter() - started,
+        "resilience": resilience,
     }
     if spec.variant == "ssp":
         # Attach the per-delinquent-load prefetch effectiveness so a later
@@ -181,3 +315,13 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
                     artifacts.delinquent_uids).items()},
         }
     return payload
+
+
+def execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Run one spec to completion; returns ``{"stats": ..., "wall_time"}``.
+
+    The stats value is the JSON-safe :meth:`SimStats.to_dict` form (not the
+    object) so the same payload crosses process boundaries and lands in
+    the result cache without re-serialisation.
+    """
+    return execute_task(WorkerTask(spec=spec))

@@ -18,7 +18,7 @@ from .branch import GsharePredictor
 from .stats import CYCLE_CATEGORIES, STALL_CATEGORY, SimStats
 from .inorder import InOrderSimulator
 from .ooo import OOOSimulator
-from .machine import MODELS, make_config, simulate
+from .machine import MODELS, make_config, make_simulator, simulate
 from .trace import ContextTrace, TracingInOrderSimulator, trace_run
 
 __all__ = [
@@ -29,6 +29,6 @@ __all__ = [
     "GsharePredictor",
     "CYCLE_CATEGORIES", "STALL_CATEGORY", "SimStats",
     "InOrderSimulator", "OOOSimulator",
-    "MODELS", "make_config", "simulate",
+    "MODELS", "make_config", "make_simulator", "simulate",
     "ContextTrace", "TracingInOrderSimulator", "trace_run",
 ]

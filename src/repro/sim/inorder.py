@@ -110,6 +110,81 @@ class InOrderSimulator:
         self._chk_fires: Dict[int, int] = {}
         self._chk_partials_at_first: Dict[int, int] = {}
         self._chk_suppressed: set = set()
+        # Checkpoint/resume bookkeeping: current cycle and whether the run
+        # loop has been entered (so a restored simulator continues instead
+        # of re-initialising the main context).
+        self._now = 0
+        self._started = False
+
+    # -- checkpoint/resume ---------------------------------------------------------
+
+    #: Everything mutable the run loop touches.  The program itself is NOT
+    #: part of a snapshot: runs are content-addressed by their RunSpec, so
+    #: a resume rebuilds the identical program and only the dynamic state
+    #: crosses the checkpoint file.
+    SNAPSHOT_MODEL = "inorder"
+    _SNAPSHOT_FIELDS = (
+        "heap", "memory", "predictor", "stats", "contexts", "main_state",
+        "_main_misses", "_next_tid", "_rr", "_context_waiters",
+        "_chk_fires", "_chk_partials_at_first", "_chk_suppressed",
+        "_now", "_started",
+    )
+
+    @property
+    def cycle(self) -> int:
+        """Current simulated cycle (updated at checkpoint boundaries)."""
+        return self._now
+
+    def snapshot(self) -> Dict[str, object]:
+        """Picklable snapshot of all dynamic state at a cycle boundary.
+
+        The returned mapping aliases live simulator objects; serialise it
+        (``pickle.dumps``) before letting the simulation continue.  Object
+        identity inside the snapshot (stats ↔ memory, contexts ↔ waiters)
+        is preserved by pickling the dict as one unit.
+        """
+        if not self._started:
+            self._begin()
+        state: Dict[str, object] = {
+            name: getattr(self, name) for name in self._SNAPSHOT_FIELDS}
+        state["model"] = self.SNAPSHOT_MODEL
+        state["cycle"] = self._now
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Reinstall a :meth:`snapshot`; the next :meth:`run` resumes.
+
+        Refuses snapshots from the other machine model or with missing
+        fields (a truncated or foreign checkpoint payload) by raising
+        :class:`~repro.guard.errors.CheckpointError`.
+        """
+        from ..guard.errors import CheckpointError
+        model = state.get("model") if isinstance(state, dict) else None
+        if model != self.SNAPSHOT_MODEL:
+            raise CheckpointError(
+                f"checkpoint is for model {model!r}, not "
+                f"{self.SNAPSHOT_MODEL!r}")
+        missing = [n for n in self._SNAPSHOT_FIELDS if n not in state]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint payload missing fields: {missing}")
+        for name in self._SNAPSHOT_FIELDS:
+            setattr(self, name, state[name])
+        # The restored memory system keeps its recorded prefetch mapping;
+        # stats must keep pointing at the restored memory system.
+        self.stats.memory = self.memory
+
+    def _begin(self) -> None:
+        """Initialise the main context (once per simulator lifetime)."""
+        program = self.program
+        main_state = ThreadState(
+            tid=0, pc=program.function_entry[program.entry])
+        #: Final main-thread architectural state (the differential oracle
+        #: compares it across execution engines after :meth:`run`).
+        self.main_state = main_state
+        self.contexts[0] = HWThread(main_state)
+        self._now = 0
+        self._started = True
 
     # -- context management -------------------------------------------------------
 
@@ -369,21 +444,38 @@ class InOrderSimulator:
 
     # -- main loop --------------------------------------------------------------------
 
-    def run(self) -> SimStats:
-        """Simulate until the main thread halts; returns the statistics."""
-        program = self.program
+    def run(self, checkpoint_every: Optional[int] = None,
+            on_checkpoint=None) -> SimStats:
+        """Simulate until the main thread halts; returns the statistics.
+
+        Args:
+            checkpoint_every: with ``on_checkpoint``, invoke the callback
+                at the first cycle boundary at or past every multiple of
+                this many cycles (the callback must not mutate simulator
+                state — it typically calls :meth:`snapshot`).
+            on_checkpoint: ``callback(simulator)`` for periodic
+                checkpoints/heartbeats.  Checkpoint cadence never affects
+                the simulated statistics.
+
+        A simulator whose state was installed by :meth:`restore` continues
+        from the checkpointed cycle instead of starting over.
+        """
         config = self.config
-        main_state = ThreadState(
-            tid=0, pc=program.function_entry[program.entry])
-        #: Final main-thread architectural state (the differential oracle
-        #: compares it across execution engines after :meth:`run`).
-        self.main_state = main_state
-        main = HWThread(main_state)
-        self.contexts[0] = main
+        if not self._started:
+            self._begin()
+        main = self.contexts[0]
         stats = self.stats
-        now = 0
+        now = self._now
+        next_checkpoint = None
+        if on_checkpoint is not None and checkpoint_every:
+            next_checkpoint = now + checkpoint_every
 
         while not main.state.done:
+            if next_checkpoint is not None and now >= next_checkpoint:
+                self._now = now
+                on_checkpoint(self)
+                while next_checkpoint <= now:
+                    next_checkpoint += checkpoint_every
             if now >= self.max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_cycles} cycles")
@@ -465,6 +557,7 @@ class InOrderSimulator:
                 stats.charge(self._main_category(main, 0, now), skip)
             now = wake
 
+        self._now = now
         stats.cycles = now
         stats.mispredicts = self.predictor.mispredicts
         return stats

@@ -41,9 +41,26 @@ def make_config(model: str) -> MachineConfig:
     return config_factory()
 
 
+def make_simulator(program: Program, heap: Heap, model: str = "inorder",
+                   config: Optional[MachineConfig] = None,
+                   spawning: bool = True, max_cycles: int = 200_000_000):
+    """Construct (without running) the simulator for a model name.
+
+    This is the entry point for checkpoint/resume callers, which need the
+    simulator object itself to drive ``snapshot()``/``restore()`` and the
+    ``run(checkpoint_every=..., on_checkpoint=...)`` hooks.
+    """
+    config_factory, sim_cls = _lookup(model)
+    if config is None:
+        config = config_factory()
+    return sim_cls(program, heap, config, spawning, max_cycles)
+
+
 def simulate(program: Program, heap: Heap, model: str = "inorder",
              config: Optional[MachineConfig] = None, spawning: bool = True,
-             max_cycles: int = 200_000_000) -> SimStats:
+             max_cycles: int = 200_000_000,
+             checkpoint_every: Optional[int] = None,
+             on_checkpoint=None) -> SimStats:
     """Run ``program`` on the selected machine model and return statistics.
 
     Args:
@@ -55,9 +72,10 @@ def simulate(program: Program, heap: Heap, model: str = "inorder",
         spawning: when False, ``chk.c`` never fires (used for profiling
             runs of un-adapted binaries and for baselines).
         max_cycles: runaway guard.
+        checkpoint_every / on_checkpoint: periodic checkpoint hook,
+            forwarded to the simulator's ``run`` (cadence never affects
+            the statistics).
     """
-    config_factory, sim_cls = _lookup(model)
-    if config is None:
-        config = config_factory()
-    sim = sim_cls(program, heap, config, spawning, max_cycles)
-    return sim.run()
+    sim = make_simulator(program, heap, model, config, spawning, max_cycles)
+    return sim.run(checkpoint_every=checkpoint_every,
+                   on_checkpoint=on_checkpoint)

@@ -97,6 +97,79 @@ class OOOSimulator:
         self._fetch_used: Dict[int, int] = {}
         self._live_threads = 0
         self._next_tid = 0
+        # Run-loop state, held on the instance so a checkpoint can capture
+        # it mid-run and a restored simulator can continue seamlessly.
+        self._main: Optional[_OOOThread] = None
+        self._queue: List[Tuple[int, int, _OOOThread]] = []
+        self._tie = 0
+        self._end_cycle: Optional[int] = None
+        self._main_misses: List[int] = []
+        self._pops = 0
+        self._started = False
+
+    # -- checkpoint/resume ---------------------------------------------------------
+
+    #: See :attr:`repro.sim.inorder.InOrderSimulator.SNAPSHOT_MODEL` — the
+    #: program is rebuilt from the RunSpec; only dynamic state is captured.
+    SNAPSHOT_MODEL = "ooo"
+    _SNAPSHOT_FIELDS = (
+        "heap", "memory", "predictor", "stats", "main_state",
+        "_issue_used", "_port_used", "_fetch_used", "_live_threads",
+        "_next_tid", "_main", "_queue", "_tie", "_end_cycle",
+        "_main_misses", "_pops", "_started",
+    )
+
+    @property
+    def cycle(self) -> int:
+        """Earliest pending fetch cycle (the checkpoint's progress mark)."""
+        if self._queue:
+            return self._queue[0][0]
+        return self.stats.cycles
+
+    def snapshot(self) -> Dict[str, object]:
+        """Picklable snapshot of all dynamic state (see inorder docs)."""
+        if not self._started:
+            self._begin()
+        state: Dict[str, object] = {
+            name: getattr(self, name) for name in self._SNAPSHOT_FIELDS}
+        state["model"] = self.SNAPSHOT_MODEL
+        state["cycle"] = self.cycle
+        return state
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Reinstall a :meth:`snapshot`; the next :meth:`run` resumes."""
+        from ..guard.errors import CheckpointError
+        model = state.get("model") if isinstance(state, dict) else None
+        if model != self.SNAPSHOT_MODEL:
+            raise CheckpointError(
+                f"checkpoint is for model {model!r}, not "
+                f"{self.SNAPSHOT_MODEL!r}")
+        missing = [n for n in self._SNAPSHOT_FIELDS if n not in state]
+        if missing:
+            raise CheckpointError(
+                f"checkpoint payload missing fields: {missing}")
+        for name in self._SNAPSHOT_FIELDS:
+            setattr(self, name, state[name])
+        self.stats.memory = self.memory
+
+    def _begin(self) -> None:
+        """Initialise the main context (once per simulator lifetime)."""
+        program = self.program
+        config = self.config
+        main_state = ThreadState(tid=0,
+                                 pc=program.function_entry[program.entry])
+        #: Final main-thread architectural state (the differential oracle
+        #: compares it across execution engines after :meth:`run`).
+        self.main_state = main_state
+        self._main = _OOOThread(main_state, 0, config.rob_entries,
+                                config.rs_entries)
+        self._queue = [(0, 0, self._main)]
+        self._live_threads = 1
+        self._tie = 0
+        self._end_cycle = None
+        self._main_misses = []
+        self._pops = 0
+        self._started = True
 
     # -- per-cycle resource pools ---------------------------------------------------
 
@@ -171,33 +244,39 @@ class OOOSimulator:
 
     # -- main loop -----------------------------------------------------------------------
 
-    def run(self) -> SimStats:
-        """Simulate until the main thread's halt retires."""
+    def run(self, checkpoint_every: Optional[int] = None,
+            on_checkpoint=None) -> SimStats:
+        """Simulate until the main thread's halt retires.
+
+        ``checkpoint_every``/``on_checkpoint`` behave as in
+        :meth:`repro.sim.inorder.InOrderSimulator.run`: the callback fires
+        between fetch groups whenever the earliest pending fetch cycle
+        crosses the next checkpoint mark, and a :meth:`restore`-d
+        simulator resumes instead of restarting.
+        """
         program = self.program
         config = self.config
         code = program.code
         stats = self.stats
-
-        main_state = ThreadState(tid=0,
-                                 pc=program.function_entry[program.entry])
-        #: Final main-thread architectural state (the differential oracle
-        #: compares it across execution engines after :meth:`run`).
-        self.main_state = main_state
-        main = _OOOThread(main_state, 0, config.rob_entries,
-                          config.rs_entries)
+        if not self._started:
+            self._begin()
+        main = self._main
         # (next_fetch_cycle, tie, thread)
-        queue: List[Tuple[int, int, _OOOThread]] = [(0, 0, main)]
-        self._live_threads = 1
-        tie = 0
-        end_cycle = None
+        queue = self._queue
         # Outstanding main-thread misses for CacheExec classification.
-        main_misses: List[int] = []
+        main_misses = self._main_misses
+        next_checkpoint = None
+        if on_checkpoint is not None and checkpoint_every:
+            next_checkpoint = self.cycle + checkpoint_every
 
-        pops = 0
         while queue:
+            if next_checkpoint is not None and queue[0][0] >= next_checkpoint:
+                on_checkpoint(self)
+                while next_checkpoint <= queue[0][0]:
+                    next_checkpoint += checkpoint_every
             fetch, _, thread = heapq.heappop(queue)
-            pops += 1
-            if pops % 50_000 == 0:
+            self._pops += 1
+            if self._pops % 50_000 == 0:
                 self._prune_pools(fetch)
             state = thread.state
             if (state.tid != 0 and not state.done
@@ -210,7 +289,7 @@ class OOOSimulator:
             if state.done:
                 self._live_threads -= 1
                 continue
-            if end_cycle is not None and fetch >= end_cycle:
+            if self._end_cycle is not None and fetch >= self._end_cycle:
                 self._live_threads -= 1
                 continue
             if fetch >= self.max_cycles:
@@ -328,9 +407,10 @@ class OOOSimulator:
                             config.rob_entries, config.rs_entries)
                         self._live_threads += 1
                         stats.spawns += 1
-                        tie += 1
+                        self._tie += 1
                         heapq.heappush(queue,
-                                       (child.fetch_cycle, tie, child))
+                                       (child.fetch_cycle, self._tie,
+                                        child))
                     else:
                         stats.spawn_failures += 1
                 elif op in ("kill", "halt"):
@@ -341,13 +421,14 @@ class OOOSimulator:
             if state.done:
                 self._live_threads -= 1
                 if is_main:
-                    end_cycle = thread.last_retire
+                    self._end_cycle = thread.last_retire
                     stats.cycles = thread.last_retire
                 else:
                     stats.threads_completed += 1
                 continue
-            tie += 1
-            heapq.heappush(queue, (max(next_fetch, fetch + 1), tie, thread))
+            self._tie += 1
+            heapq.heappush(queue, (max(next_fetch, fetch + 1), self._tie,
+                                   thread))
 
         if stats.cycles == 0:
             stats.cycles = main.last_retire

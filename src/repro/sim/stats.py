@@ -181,6 +181,15 @@ class SimStats:
             }
         return out
 
+    def equal_to(self, other: "SimStats") -> bool:
+        """Exact statistical equality (every serialised counter matches).
+
+        This is the resume contract: a run killed mid-simulation and
+        resumed from its last checkpoint must produce statistics
+        ``equal_to`` those of an uninterrupted run.
+        """
+        return self.to_dict() == other.to_dict()
+
     # -- serialisation ---------------------------------------------------------------
 
     def to_dict(self) -> Dict:

@@ -11,6 +11,7 @@ adaptation and its effect::
     ssp-postpass report --from metrics.json
     ssp-postpass cache stats
     ssp-postpass cache clear [--stale]
+    ssp-postpass runs
 
 All simulations go through :mod:`repro.runner`: results are cached under
 ``.repro-cache/`` (disable with ``--no-cache``) and ``--jobs N`` fans each
@@ -29,6 +30,21 @@ dropped by fault isolation — (3), and a semantic-equivalence rollback
 (4).  ``--inject SITE[:PROB[:TIMES]]`` (with ``--inject-seed``) arms the
 deterministic fault-injection harness; ``--inject list`` prints the
 sites.
+
+Resilience (:mod:`repro.resilience`): ``--checkpoint-every N`` writes a
+crash-safe checkpoint every N simulated cycles, ``--resume`` continues a
+killed run from its last good checkpoint (``ssp-postpass runs`` lists
+what is resumable), and ``--deadline SECS`` puts each run under the
+supervisor's wall-clock budget.  Any of these flags routes execution
+through the watchdog supervisor: hung workers are killed and retried
+with backoff, repeated failures trip a per-spec circuit breaker to
+serial execution, and budget blowouts descend the degradation ladder
+(chaining SP → basic SP → top-1 load → unadapted).  **Exit codes are
+unchanged by supervision**: a run that completes — even degraded down
+the ladder, which is recorded in telemetry and
+``RunResult.metrics["resilience"]`` rather than the exit code — still
+exits 0/3/4 per the guard semantics above; only a spec the supervisor
+had to *skip* (ladder and retries exhausted) surfaces as failure (1).
 """
 
 from __future__ import annotations
@@ -36,6 +52,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -54,7 +71,6 @@ from ..obs import (
 from ..runner import (
     ResultCache,
     Runner,
-    RunnerError,
     RunSpec,
     WorkloadArtifacts,
     artifacts_for,
@@ -83,7 +99,16 @@ def _guard_exit_code(guard, base: int) -> int:
 
 def _make_runner(args) -> Runner:
     cache = None if args.no_cache else ResultCache.from_environment()
-    return Runner(jobs=args.jobs, cache=cache)
+    resilience = None
+    if (getattr(args, "deadline", None) is not None
+            or getattr(args, "checkpoint_every", None) is not None
+            or getattr(args, "resume", False)):
+        from ..resilience import ResilienceConfig
+        resilience = ResilienceConfig(
+            deadline=args.deadline,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume)
+    return Runner(jobs=args.jobs, cache=cache, resilience=resilience)
 
 
 def _observed_artifacts(spec: RunSpec, tracer) -> WorkloadArtifacts:
@@ -99,9 +124,22 @@ def _observed_artifacts(spec: RunSpec, tracer) -> WorkloadArtifacts:
     return artifacts
 
 
-def _print_prefetch_effectiveness(stats, delinquent_uids) -> None:
-    """Per-delinquent-load coverage / accuracy / timeliness lines."""
-    prefetch = stats.prefetch_metrics(delinquent_uids)
+def _print_prefetch_effectiveness(stats, delinquent_uids,
+                                  run_metrics=None) -> None:
+    """Per-delinquent-load coverage / accuracy / timeliness lines.
+
+    Prefers the prefetch attribution the worker attached to the run
+    (``RunResult.metrics``): it was computed in the executing process,
+    whose instruction uids are authoritative.  A ladder-degraded run
+    executes a binary built in a child whose uid numbering differs from
+    this process's, so looking its stats up with local uids finds
+    nothing.  Falls back to local attribution for in-process runs.
+    """
+    if run_metrics and run_metrics.get("prefetch"):
+        prefetch = {int(uid): row
+                    for uid, row in run_metrics["prefetch"].items()}
+    else:
+        prefetch = stats.prefetch_metrics(delinquent_uids)
     if not prefetch:
         return
     print("      prefetch effectiveness per delinquent load:")
@@ -154,6 +192,8 @@ def _adapt_and_report(name: str, scale: str, model: str,
 
     print(f"[3/4] simulating the SSP-enhanced binary ({model}) ...")
     context_trace = None
+    resilience_meta = None
+    run_metrics = None
     if model == "inorder":
         if observing:
             # A context-traced simulation (bypasses the runner so the
@@ -165,11 +205,14 @@ def _adapt_and_report(name: str, scale: str, model: str,
                 artifacts.workload.check_output(heap)
                 sp.set(cycles=stats.cycles, spawns=stats.spawns)
         else:
-            try:
-                stats = runner.stats(ssp_spec)
-            except RunnerError as exc:
-                print(f"      simulation failed: {exc}", file=sys.stderr)
+            ssp_result = runner.run_one(ssp_spec)
+            if not ssp_result.ok:
+                print(f"      simulation failed: {ssp_result.error}",
+                      file=sys.stderr)
                 return _guard_exit_code(guard, EXIT_FAILURE)
+            stats = ssp_result.stats
+            resilience_meta = ssp_result.metrics.get("resilience")
+            run_metrics = ssp_result.metrics
         base = profile.baseline_cycles
     else:
         base_spec = RunSpec.create(name, scale=scale, model=model,
@@ -179,12 +222,15 @@ def _adapt_and_report(name: str, scale: str, model: str,
             print("      simulation failed", file=sys.stderr)
             return _guard_exit_code(guard, EXIT_FAILURE)
         stats, base = ssp_result.stats, base_result.stats.cycles
+        resilience_meta = ssp_result.metrics.get("resilience")
+        run_metrics = ssp_result.metrics
     print(f"      {model} baseline: {base} cycles; SSP: {stats.cycles} "
           f"cycles; speedup {base / stats.cycles:.2f}x")
     print(f"      spawns={stats.spawns} chk fired/ignored="
           f"{stats.chk_fired}/{stats.chk_ignored} "
           f"prefetches={stats.memory.prefetches_issued}")
-    _print_prefetch_effectiveness(stats, result.delinquent_uids)
+    _print_prefetch_effectiveness(stats, result.delinquent_uids,
+                                  run_metrics=run_metrics)
 
     print(f"[4/4] done.  [runner] {runner.telemetry.summary()}")
     if gantt:
@@ -207,7 +253,7 @@ def _adapt_and_report(name: str, scale: str, model: str,
         metrics = collect_metrics(
             name, scale, model, profile=profile, tool_result=result,
             stats=stats, baseline_cycles=base, tracer=tracer,
-            telemetry=runner.telemetry)
+            telemetry=runner.telemetry, resilience=resilience_meta)
         with open(metrics_json, "w", encoding="utf-8") as fh:
             json.dump(metrics, fh, indent=2, sort_keys=True)
         print(f"      metrics written to {metrics_json}")
@@ -259,6 +305,30 @@ def _cache_command(argv: List[str]) -> int:
         return 0
     removed = cache.clear(stale_only=args.stale)
     print(f"removed {removed} cached result(s)")
+    return 0
+
+
+def _runs_command(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ssp-postpass runs",
+        description="List resumable run checkpoints (written by "
+                    "--checkpoint-every, consumed by --resume).")
+    parser.parse_args(argv)
+    from ..resilience import CheckpointStore
+    entries = CheckpointStore().list_runs()
+    if not entries:
+        print("no resumable checkpoints")
+        return 0
+    now = time.time()
+    for entry in entries:
+        if entry["valid"]:
+            age = now - entry["created"]
+            print(f"  {entry['key'][:16]}  {entry['label']:<32} "
+                  f"cycle {entry['cycle']:>12,}  ({age:.0f}s ago)")
+        else:
+            print(f"  {entry['key'][:16]}  <unreadable: {entry['error']}>")
+    print(f"{len(entries)} checkpoint(s); resume with "
+          f"'ssp-postpass WORKLOAD --checkpoint-every N --resume'")
     return 0
 
 
@@ -394,6 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _report_command(argv[1:])
     if argv and argv[0] == "check":
         return _check_command(argv[1:])
+    if argv and argv[0] == "runs":
+        return _runs_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="ssp-postpass",
@@ -434,6 +506,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--telemetry-json", metavar="FILE",
                         help="write the runner's machine-readable "
                              "cache/wall-time summary to FILE")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECS",
+                        help="per-run wall-clock budget; blowing it "
+                             "descends the degradation ladder instead of "
+                             "failing (enables the supervisor)")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="CYCLES",
+                        help="write a crash-safe simulator checkpoint "
+                             "every CYCLES simulated cycles (enables the "
+                             "supervisor; see 'ssp-postpass runs')")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume killed runs from their last good "
+                             "checkpoint instead of starting fresh")
     parser.add_argument("--inject", action="append", default=None,
                         metavar="SITE[:PROB[:TIMES]]",
                         help="arm the fault-injection harness at SITE "

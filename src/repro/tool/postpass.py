@@ -84,6 +84,18 @@ class ToolOptions:
     differential_verify: bool = True
 
 
+#: :class:`ToolOptions` overrides for each rung of the resilience
+#: degradation ladder (see :mod:`repro.resilience.ladder`): when a run
+#: blows its budgets the supervisor re-adapts with progressively weaker
+#: speculation — basic SP only, then basic SP for the single worst
+#: delinquent load — before giving up on adaptation entirely.  Kept here,
+#: next to the knobs they override, so tool and ladder cannot drift.
+DEGRADATION_PRESETS: Dict[str, Dict[str, object]] = {
+    "basic": {"disable_chaining": True},
+    "top1": {"disable_chaining": True, "max_delinquent_loads": 1},
+}
+
+
 @dataclass
 class RegionDecision:
     """One row of the region/model selection trace (for reports/ablation)."""

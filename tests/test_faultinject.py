@@ -21,6 +21,7 @@ PIPELINE_SITES = ("slice.exception", "schedule.negative_slack",
                   "codegen.invalid_program", "verify.mismatch")
 RUNNER_SITES = ("runner.worker_crash", "runner.worker_timeout")
 CACHE_SITES = ("cache.corrupt", "cache.truncate")
+RESILIENCE_SITES = ("checkpoint.corrupt", "worker.hang", "worker.oom")
 
 
 @pytest.fixture(autouse=True)
@@ -33,7 +34,8 @@ def _fresh_artifacts():
 
 
 def test_site_registry_is_complete():
-    assert set(SITES) == set(PIPELINE_SITES + RUNNER_SITES + CACHE_SITES)
+    assert set(SITES) == set(PIPELINE_SITES + RUNNER_SITES + CACHE_SITES
+                             + RESILIENCE_SITES)
     assert len(describe_sites()) == len(SITES)
 
 
