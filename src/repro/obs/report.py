@@ -127,11 +127,26 @@ def render_report(metrics: Dict[str, Any]) -> str:
     runner = metrics.get("runner")
     if runner:
         lines.append("")
-        lines.append(f"runner: {runner['launched']} simulated, "
-                     f"{runner['cache_hits']} cached "
-                     f"({100 * runner['hit_rate']:.0f}% hit rate), "
-                     f"sim wall {runner['sim_wall_time']:.2f}s "
-                     f"(saved {runner['saved_wall_time']:.2f}s)")
+        line = (f"runner: {runner['launched']} simulated, "
+                f"{runner['cache_hits']} cached "
+                f"({100 * runner['hit_rate']:.0f}% hit rate), ")
+        # Older metrics documents predate service mode; .get throughout.
+        if runner.get("dedupe_hits"):
+            line += (f"{runner['dedupe_hits']} deduped by other "
+                     f"workers, ")
+        line += (f"sim wall {runner['sim_wall_time']:.2f}s "
+                 f"(saved {runner['saved_wall_time']:.2f}s)")
+        lines.append(line)
+        backend = runner.get("cache_backend")
+        if backend:
+            parts = [f"kind={backend.get('kind', 'local')}"]
+            if backend.get("shards"):
+                parts.append(f"shards={backend['shards']}")
+            for counter in ("hits", "misses", "puts", "evictions",
+                            "quarantines", "promotions"):
+                if backend.get(counter):
+                    parts.append(f"{counter}={backend[counter]}")
+            lines.append("cache backend: " + "  ".join(parts))
         resilience = runner.get("resilience")
         if resilience and any(resilience.values()):
             lines.append(

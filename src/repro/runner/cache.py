@@ -46,6 +46,34 @@ ENV_NO_CACHE = "REPRO_NO_CACHE"
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 
+class CacheCounters:
+    """Per-backend hit/miss/evict accounting.
+
+    Every cache backend (this local store, and the sharded/tiered
+    composites in :mod:`repro.service.backend`) owns one of these; the
+    runner exposes the snapshot through
+    :meth:`~repro.runner.telemetry.RunnerTelemetry.snapshot` so the
+    counters land in metrics documents and ``repro report``.
+    """
+
+    FIELDS = ("hits", "misses", "puts", "quarantines", "evictions",
+              "promotions")
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def merge(self, other: "CacheCounters") -> "CacheCounters":
+        for field in self.FIELDS:
+            setattr(self, field,
+                    getattr(self, field) + getattr(other, field))
+        return self
+
+    def snapshot(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+
 @functools.lru_cache(maxsize=1)
 def code_version() -> str:
     """Digest of the ``repro`` package sources (the cache's version salt).
@@ -67,6 +95,9 @@ def code_version() -> str:
 class ResultCache:
     """Maps :class:`RunSpec` content hashes to serialised ``SimStats``."""
 
+    #: Backend kind tag surfaced in counter snapshots and reports.
+    kind = "local"
+
     def __init__(self, root: Optional[os.PathLike] = None,
                  salt: Optional[str] = None):
         if root is None:
@@ -74,6 +105,7 @@ class ResultCache:
         self.root = Path(root)
         self.salt = salt if salt is not None else code_version()
         self.generation_dir = self.root / self.salt
+        self.counters = CacheCounters()
 
     @classmethod
     def from_environment(cls) -> Optional["ResultCache"]:
@@ -98,18 +130,23 @@ class ResultCache:
         path = self._path(spec)
         self._maybe_inject_corruption(path)
         if not path.exists():
+            self.counters.misses += 1
             return None
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except OSError:
+            self.counters.misses += 1
             return None
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
             self._quarantine(path, "undecodable JSON")
+            self.counters.misses += 1
             return None
         if not isinstance(entry, dict) or "stats" not in entry:
             self._quarantine(path, "entry missing 'stats'")
+            self.counters.misses += 1
             return None
+        self.counters.hits += 1
         return entry
 
     def _quarantine(self, path: Path, reason: str) -> Optional[Path]:
@@ -120,6 +157,7 @@ class ResultCache:
                 os.replace(path, bad)
         except OSError:  # pragma: no cover - racing delete
             return None
+        self.counters.quarantines += 1
         return bad
 
     def _maybe_inject_corruption(self, path: Path) -> None:
@@ -187,9 +225,14 @@ class ResultCache:
             os.fsync(fh.fileno())
         with self._entry_lock(path):
             os.replace(tmp, path)
+        self.counters.puts += 1
         return path
 
     # -- maintenance -----------------------------------------------------------------
+
+    def counters_snapshot(self) -> Dict:
+        """JSON-safe hit/miss/evict counters (plus the backend kind)."""
+        return {"kind": self.kind, **self.counters.snapshot()}
 
     def _generations(self):
         if not self.root.is_dir():
@@ -199,37 +242,46 @@ class ResultCache:
     def stats(self) -> Dict:
         """Occupancy summary for the ``cache stats`` CLI subcommand."""
         generations = []
-        total_entries = total_bytes = 0
+        total_entries = total_bytes = total_quarantined = 0
         for gen in self._generations():
             entries = list(gen.glob("*.json"))
             size = sum(p.stat().st_size for p in entries)
+            quarantined = len(list(
+                gen.glob("*.json" + QUARANTINE_SUFFIX)))
             generations.append({
                 "salt": gen.name,
                 "current": gen.name == self.salt,
                 "entries": len(entries),
                 "bytes": size,
-                "quarantined": len(list(
-                    gen.glob("*.json" + QUARANTINE_SUFFIX))),
+                "quarantined": quarantined,
             })
             total_entries += len(entries)
             total_bytes += size
+            total_quarantined += quarantined
         return {
             "root": str(self.root),
+            "kind": self.kind,
             "current_salt": self.salt,
             "entries": total_entries,
             "bytes": total_bytes,
+            "quarantined": total_quarantined,
             "generations": generations,
         }
 
     def clear(self, stale_only: bool = False) -> int:
         """Delete cached entries; returns how many files were removed.
 
-        With ``stale_only``, only generations whose salt differs from the
-        current source tree are removed.
+        With ``stale_only``, generations whose salt differs from the
+        current source tree are removed wholesale, and quarantined
+        ``.bad`` entries are reaped from the current generation too —
+        they can never be served again, so they count as stale.
         """
         removed = 0
         for gen in self._generations():
             if stale_only and gen.name == self.salt:
+                for path in gen.glob("*.json" + QUARANTINE_SUFFIX):
+                    path.unlink()
+                    removed += 1
                 continue
             for pattern in ("*.json", "*.json" + QUARANTINE_SUFFIX):
                 for path in gen.glob(pattern):
@@ -244,3 +296,58 @@ class ResultCache:
             except OSError:  # pragma: no cover - non-cache files present
                 pass
         return removed
+
+    def evict(self, max_bytes: Optional[int] = None,
+              max_age: Optional[float] = None,
+              now: Optional[float] = None) -> int:
+        """Size/age-based GC; returns how many entries were evicted.
+
+        Entries (including quarantined ``.bad`` files) are considered
+        oldest-first by mtime across every generation.  An entry goes
+        when it is older than ``max_age`` seconds, or while the cache's
+        total footprint still exceeds ``max_bytes`` — so the size budget
+        sheds the coldest results first.  With neither bound this is a
+        no-op, never a full clear.
+        """
+        if max_bytes is None and max_age is None:
+            return 0
+        now = time.time() if now is None else now
+        entries = []
+        total = 0
+        for gen in self._generations():
+            for pattern in ("*.json", "*.json" + QUARANTINE_SUFFIX):
+                for path in gen.glob(pattern):
+                    try:
+                        st = path.stat()
+                    except OSError:  # pragma: no cover - racing delete
+                        continue
+                    entries.append((st.st_mtime, st.st_size, path))
+                    total += st.st_size
+        entries.sort(key=lambda item: item[0])
+        evicted = 0
+        for mtime, size, path in entries:
+            stale = max_age is not None and (now - mtime) > max_age
+            over = max_bytes is not None and total > max_bytes
+            if not stale and not over:
+                # Sorted oldest-first: nothing later is stale either,
+                # and the size budget is already satisfied.
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing delete
+                continue
+            entry_name = path.name
+            if entry_name.endswith(QUARANTINE_SUFFIX):
+                entry_name = entry_name[:-len(QUARANTINE_SUFFIX)]
+            lock = path.with_name(entry_name + ".lock")
+            if lock.exists():
+                lock.unlink()
+            total -= size
+            evicted += 1
+            self.counters.evictions += 1
+        for gen in self._generations():
+            try:
+                gen.rmdir()
+            except OSError:
+                pass
+        return evicted

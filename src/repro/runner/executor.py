@@ -35,9 +35,13 @@ from .worker import execute_spec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..resilience.supervisor import ResilienceConfig
+    from ..service.client import ServiceConfig
 
 #: Sentinel meaning "build the default cache from the environment".
 _DEFAULT_CACHE = object()
+
+#: Sentinel meaning "enable service mode iff REPRO_SERVICE_ROOT is set".
+_DEFAULT_SERVICE = object()
 
 
 class RunnerError(RuntimeError):
@@ -73,7 +77,8 @@ class Runner:
                  retries: int = 1,
                  telemetry: Optional[RunnerTelemetry] = None,
                  task_fn: Callable[[RunSpec], Dict] = execute_spec,
-                 resilience: Optional["ResilienceConfig"] = None):
+                 resilience: Optional["ResilienceConfig"] = None,
+                 service=_DEFAULT_SERVICE):
         """
         Args:
             jobs: worker processes; 1 runs everything in-process.
@@ -90,8 +95,22 @@ class Runner:
                 :class:`~repro.resilience.supervisor.Supervisor`
                 (heartbeat watchdog, checkpoint/resume, circuit breaker,
                 degradation ladder) instead of the plain pool.
+            service: a :class:`~repro.service.client.ServiceConfig`, a
+                service root path, None to force standalone mode, or the
+                default — honours ``REPRO_SERVICE_ROOT``.  With a
+                service configured the runner keeps its synchronous
+                interface but becomes a submit+wait client of the
+                shared queue/backend: cache misses are enqueued, an
+                inline worker drains them (alongside any external
+                ``repro service worker`` processes), and results
+                another worker paid for count as dedupe hits.
         """
         self.jobs = max(1, int(jobs))
+        self.service = self._resolve_service(service)
+        if cache is _DEFAULT_CACHE and self.service is not None:
+            # In service mode the shared backend IS the cache: lookups,
+            # write-backs and dedupe all go through the same store.
+            cache = self.service.make_backend()
         self.cache: Optional[ResultCache] = (
             ResultCache.from_environment() if cache is _DEFAULT_CACHE
             else cache)
@@ -100,6 +119,20 @@ class Runner:
         self.telemetry = telemetry or RunnerTelemetry()
         self.task_fn = task_fn
         self.resilience = resilience
+        self._service_client = None
+
+    @staticmethod
+    def _resolve_service(service) -> Optional["ServiceConfig"]:
+        if service is None:
+            return None
+        # Lazy: repro.service imports runner modules at load time; a
+        # top-level import here would close the cycle.
+        from ..service.client import ServiceConfig
+        if service is _DEFAULT_SERVICE:
+            return ServiceConfig.from_environment()
+        if isinstance(service, ServiceConfig):
+            return service
+        return ServiceConfig.resolve(service)
 
     # -- public API ------------------------------------------------------------------
 
@@ -133,7 +166,9 @@ class Runner:
                 by_hash[digest] = RunResult(spec)
                 pending.append(spec)
         if pending:
-            if self.resilience is not None:
+            if self.service is not None:
+                executed = self._run_service(pending)
+            elif self.resilience is not None:
                 executed = self._run_supervised(pending)
             elif self.jobs > 1 and len(pending) > 1:
                 executed = self._run_parallel(pending)
@@ -141,6 +176,10 @@ class Runner:
                 executed = [self._run_serial(spec) for spec in pending]
             for result in executed:
                 by_hash[result.spec.content_hash()] = result
+        if self.cache is not None and hasattr(self.cache,
+                                              "counters_snapshot"):
+            self.telemetry.record_backend_stats(
+                self.cache.counters_snapshot())
         return [by_hash[digest] for digest in order]
 
     # -- cache -----------------------------------------------------------------------
@@ -248,6 +287,19 @@ class Runner:
             return self._fail(spec, error, 1)
         result = self._run_serial(spec, first_attempt=2)
         return result
+
+    # -- service execution -----------------------------------------------------------
+
+    def _run_service(self, specs: List[RunSpec]) -> List[RunResult]:
+        """Submit cache misses to the shared queue and drain them with
+        an inline worker: the synchronous interface over the service."""
+        from ..service.client import ServiceClient
+
+        if self._service_client is None:
+            self._service_client = ServiceClient(backend=self.cache,
+                                                 config=self.service)
+        return self._service_client.run_batch(
+            specs, telemetry=self.telemetry, task_fn=self.task_fn)
 
     # -- supervised execution --------------------------------------------------------
 

@@ -141,6 +141,29 @@ class RunSpec:
             "max_cycles": self.max_cycles,
         }
 
+    @classmethod
+    def from_key(cls, key: Dict[str, Any]) -> "RunSpec":
+        """Rebuild a spec from its :meth:`key` dict (JSON round trip).
+
+        The service job queue ships specs between hosts as their
+        canonical key form; reconstruction is hash-preserving —
+        ``RunSpec.from_key(s.key()).content_hash() == s.content_hash()``
+        — because ``key()`` already records the *effective* spawning
+        flag and sorted option/override pairs.
+        """
+        return cls(
+            workload=key["workload"],
+            scale=key["scale"],
+            model=key["model"],
+            variant=key["variant"],
+            spawning=key["spawning"],
+            tool_options=tuple((k, v) for k, v in key["tool_options"]),
+            config_overrides=tuple(
+                (k, tuple(v) if isinstance(v, list) else v)
+                for k, v in key["config_overrides"]),
+            max_cycles=key["max_cycles"],
+        )
+
     def content_hash(self) -> str:
         """Stable hex digest; changes when any result-relevant field does."""
         canonical = json.dumps(self.key(), sort_keys=True,

@@ -22,6 +22,7 @@ class RunnerTelemetry:
         self.launched = 0          # simulations actually executed
         self.cache_hits = 0        # results served from the on-disk cache
         self.memo_hits = 0         # results served from in-memory memos
+        self.dedupe_hits = 0       # results another service worker paid for
         self.failures = 0          # runs that exhausted their retries
         self.retries = 0           # extra attempts after a failed one
         self.sim_wall_time = 0.0   # seconds spent inside simulations
@@ -33,6 +34,9 @@ class RunnerTelemetry:
         self.skips = 0             # specs skipped with a diagnostic
         self.resumes = 0           # runs resumed from a checkpoint
         self.checkpoints = 0       # checkpoint files written
+        #: Hit/miss/put/evict counters of the cache backend the runner
+        #: used, attached after each batch (service mode and plain runs).
+        self.backend_stats: Optional[Dict] = None
         self.records: List[Dict] = []
 
     # -- event sinks -----------------------------------------------------------------
@@ -68,6 +72,23 @@ class RunnerTelemetry:
 
     def record_memo_hit(self, label: str) -> None:
         self.memo_hits += 1
+
+    def record_dedupe(self, label: str, spec_hash: str) -> None:
+        """A service batch result some *other* worker simulated: from
+        this client's point of view it is a cache hit it never had to
+        schedule — counted separately so the exactly-one-simulation
+        property of the service is visible in reports."""
+        self.dedupe_hits += 1
+        self.records.append({"spec": spec_hash, "label": label,
+                             "cached": True, "deduped": True,
+                             "wall_time": 0.0, "attempts": 0})
+        self._emit(f"dupe {label} (completed by another worker)")
+
+    def record_backend_stats(self, stats: Optional[Dict]) -> None:
+        """Attach the latest backend counter snapshot (overwrites: the
+        backend's counters are already cumulative)."""
+        if stats is not None:
+            self.backend_stats = dict(stats)
 
     def record_failure(self, label: str, error: str,
                        attempts: int) -> None:
@@ -105,18 +126,21 @@ class RunnerTelemetry:
 
     @property
     def total_requests(self) -> int:
-        return self.launched + self.cache_hits + self.failures
+        return (self.launched + self.cache_hits + self.dedupe_hits
+                + self.failures)
 
     @property
     def hit_rate(self) -> float:
         total = self.total_requests
-        return self.cache_hits / total if total else 0.0
+        return (self.cache_hits + self.dedupe_hits) / total if total \
+            else 0.0
 
     def snapshot(self) -> Dict:
         return {
             "launched": self.launched,
             "cache_hits": self.cache_hits,
             "memo_hits": self.memo_hits,
+            "dedupe_hits": self.dedupe_hits,
             "failures": self.failures,
             "retries": self.retries,
             "hit_rate": self.hit_rate,
@@ -130,6 +154,7 @@ class RunnerTelemetry:
                 "resumes": self.resumes,
                 "checkpoints": self.checkpoints,
             },
+            "cache_backend": self.backend_stats,
         }
 
     def to_dict(self) -> Dict:
@@ -143,6 +168,9 @@ class RunnerTelemetry:
             f"sim wall time: {self.sim_wall_time:.2f}s "
             f"(saved {self.saved_wall_time:.2f}s)",
         ]
+        if self.dedupe_hits:
+            parts.append(f"deduped: {self.dedupe_hits} completed by "
+                         f"other workers")
         if self.retries:
             parts.append(f"retries: {self.retries}")
         if self.resumes or self.checkpoints:

@@ -1,0 +1,50 @@
+"""Sharded cache backends, a multi-host job queue, and an async batch API.
+
+``repro.service`` scales the runner's content-addressed result cache
+from one directory on one host to a shared store worked by many
+processes on many hosts:
+
+* :mod:`~repro.service.backend` — the :class:`CacheBackend` protocol and
+  its local, sharded and tiered implementations (plus eviction/GC);
+* :mod:`~repro.service.queue` — a file/dir work queue with ``O_EXCL``
+  leases, heartbeat-refreshed visibility, and at-least-once delivery
+  made harmless by content addressing;
+* :mod:`~repro.service.worker` — the queue consumer (one per core per
+  host) that dedupes through the backend and simulates misses;
+* :mod:`~repro.service.client` — ``submit(specs) -> batch_id``,
+  ``status(batch_id)``, ``fetch(batch_id)``, and the synchronous
+  ``run_batch`` path the :class:`~repro.runner.executor.Runner`
+  delegates to when ``REPRO_SERVICE_ROOT`` is configured.
+"""
+
+from .backend import (
+    DEFAULT_SERVICE_ROOT,
+    ENV_SERVICE_LOCAL_TIER,
+    ENV_SERVICE_ROOT,
+    ENV_SERVICE_SHARDS,
+    CacheBackend,
+    LocalDirBackend,
+    ShardedBackend,
+    TieredBackend,
+    backend_for,
+)
+from .client import ServiceClient, ServiceConfig, batch_id_for
+from .queue import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_VISIBILITY_TIMEOUT,
+    JobQueue,
+    Lease,
+    default_worker_id,
+)
+from .worker import ServiceWorker
+
+__all__ = [
+    "CacheBackend", "LocalDirBackend", "ShardedBackend", "TieredBackend",
+    "backend_for",
+    "DEFAULT_SERVICE_ROOT", "ENV_SERVICE_ROOT", "ENV_SERVICE_SHARDS",
+    "ENV_SERVICE_LOCAL_TIER",
+    "JobQueue", "Lease", "default_worker_id",
+    "DEFAULT_VISIBILITY_TIMEOUT", "DEFAULT_MAX_ATTEMPTS",
+    "ServiceWorker",
+    "ServiceClient", "ServiceConfig", "batch_id_for",
+]

@@ -1,0 +1,265 @@
+"""Cache backend abstraction: local, sharded and tiered result stores.
+
+The content-addressed result cache is the product of the batch service —
+simulation is only the miss path — so this module generalises the
+single-directory :class:`~repro.runner.cache.ResultCache` into a
+:class:`CacheBackend` protocol with three implementations:
+
+* :class:`LocalDirBackend` — the classic one-directory store, format
+  unchanged (every existing ``.repro-cache`` keeps working);
+* :class:`ShardedBackend` — fans entries across N roots by spec-hash
+  prefix, so a shared store can be spread over directories, mount
+  points or (eventually) remote volumes without a rehash;
+* :class:`TieredBackend` — a local write-through tier in front of a
+  shared root: reads hit the local tier first and promote shared hits
+  into it, writes land in both, so each host converges on a hot local
+  working set while the shared root stays authoritative.
+
+Every backend owns :class:`~repro.runner.cache.CacheCounters` whose
+hit/miss/put/evict/quarantine/promotion snapshot flows through
+:class:`~repro.runner.telemetry.RunnerTelemetry` into metrics documents
+and the ``repro report`` renderer.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+try:
+    from typing import Protocol
+except ImportError:  # pragma: no cover - python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+from ..runner.cache import CacheCounters, ResultCache
+from ..runner.spec import RunSpec
+
+#: Environment variables configuring the service-shaped backend.
+ENV_SERVICE_ROOT = "REPRO_SERVICE_ROOT"
+ENV_SERVICE_SHARDS = "REPRO_SERVICE_SHARDS"
+ENV_SERVICE_LOCAL_TIER = "REPRO_SERVICE_LOCAL_TIER"
+
+#: Default service root when the CLI is used without --root or the env.
+DEFAULT_SERVICE_ROOT = ".repro-service"
+
+#: Hash-prefix hex digits used to pick a shard (16**8 buckets folded
+#: onto N shards keeps the distribution uniform for any practical N).
+_SHARD_PREFIX_DIGITS = 8
+
+
+class CacheBackend(Protocol):
+    """What the runner, the service worker and the GC expect of a store.
+
+    ``ResultCache`` satisfies this natively; composite backends delegate
+    to it.  All implementations must be safe for concurrent use by
+    multiple processes (and hosts sharing a filesystem): ``put`` is
+    atomic-rename crash-safe and ``get`` quarantines, never serves, a
+    torn entry.
+    """
+
+    kind: str
+    counters: CacheCounters
+
+    def get(self, spec: RunSpec) -> Optional[Dict]: ...
+
+    def put(self, spec: RunSpec, stats_dict: Dict,
+            wall_time: float = 0.0,
+            metrics: Optional[Dict] = None) -> Path: ...
+
+    def stats(self) -> Dict: ...
+
+    def clear(self, stale_only: bool = False) -> int: ...
+
+    def evict(self, max_bytes: Optional[int] = None,
+              max_age: Optional[float] = None,
+              now: Optional[float] = None) -> int: ...
+
+    def counters_snapshot(self) -> Dict: ...
+
+
+class LocalDirBackend(ResultCache):
+    """The single-directory store, under whatever root it is given.
+
+    This is :class:`~repro.runner.cache.ResultCache` by another name:
+    the subsystem's canonical local backend, with the on-disk format
+    (``<root>/<code-salt>/<spec-hash>.json``) unchanged.
+    """
+
+
+class ShardedBackend:
+    """Fans entries across N shard roots by spec-hash prefix.
+
+    The shard index is ``int(hash[:8], 16) % n`` — a pure function of
+    the spec hash, so every client and worker (on any host) agrees on
+    an entry's home without coordination, and adding capacity is an
+    explicit re-shard rather than a silent rehash.
+    """
+
+    kind = "sharded"
+
+    def __init__(self, roots: Sequence[os.PathLike],
+                 salt: Optional[str] = None):
+        if not roots:
+            raise ValueError("ShardedBackend needs at least one root")
+        self.shards = [LocalDirBackend(root=root, salt=salt)
+                       for root in roots]
+
+    @classmethod
+    def create(cls, root: os.PathLike, shards: int,
+               salt: Optional[str] = None) -> "ShardedBackend":
+        """N ``shard-XX`` directories under one parent root."""
+        base = Path(root)
+        return cls([base / f"shard-{i:02d}" for i in range(max(1, shards))],
+                   salt=salt)
+
+    def shard_for(self, spec: RunSpec) -> LocalDirBackend:
+        prefix = spec.content_hash()[:_SHARD_PREFIX_DIGITS]
+        return self.shards[int(prefix, 16) % len(self.shards)]
+
+    # -- CacheBackend ----------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[Dict]:
+        return self.shard_for(spec).get(spec)
+
+    def put(self, spec: RunSpec, stats_dict: Dict,
+            wall_time: float = 0.0,
+            metrics: Optional[Dict] = None) -> Path:
+        return self.shard_for(spec).put(spec, stats_dict, wall_time,
+                                        metrics=metrics)
+
+    @property
+    def counters(self) -> CacheCounters:
+        merged = CacheCounters()
+        for shard in self.shards:
+            merged.merge(shard.counters)
+        return merged
+
+    def counters_snapshot(self) -> Dict:
+        return {"kind": self.kind, "shards": len(self.shards),
+                **self.counters.snapshot()}
+
+    def stats(self) -> Dict:
+        shard_stats = [shard.stats() for shard in self.shards]
+        return {
+            "kind": self.kind,
+            "root": str(Path(self.shards[0].root).parent),
+            "current_salt": self.shards[0].salt,
+            "entries": sum(s["entries"] for s in shard_stats),
+            "bytes": sum(s["bytes"] for s in shard_stats),
+            "quarantined": sum(s["quarantined"] for s in shard_stats),
+            "shards": shard_stats,
+            "generations": [gen for s in shard_stats
+                            for gen in s["generations"]],
+        }
+
+    def clear(self, stale_only: bool = False) -> int:
+        return sum(shard.clear(stale_only=stale_only)
+                   for shard in self.shards)
+
+    def evict(self, max_bytes: Optional[int] = None,
+              max_age: Optional[float] = None,
+              now: Optional[float] = None) -> int:
+        per_shard = (None if max_bytes is None
+                     else max(0, max_bytes // len(self.shards)))
+        return sum(shard.evict(max_bytes=per_shard, max_age=max_age,
+                               now=now)
+                   for shard in self.shards)
+
+
+class TieredBackend:
+    """A local write-through tier in front of a shared (slower) root.
+
+    Reads try the local tier first; a shared hit is *promoted* — written
+    through into the local tier — so each host's hot working set settles
+    locally while the shared root stays the authoritative store.  Writes
+    land in the shared root first (other hosts must see the result),
+    then the local tier.
+    """
+
+    kind = "tiered"
+
+    def __init__(self, local: CacheBackend, shared: CacheBackend):
+        self.local = local
+        self.shared = shared
+        self.counters = CacheCounters()
+
+    # -- CacheBackend ----------------------------------------------------------------
+
+    def get(self, spec: RunSpec) -> Optional[Dict]:
+        entry = self.local.get(spec)
+        if entry is not None:
+            self.counters.hits += 1
+            return entry
+        entry = self.shared.get(spec)
+        if entry is None:
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        self.counters.promotions += 1
+        self.local.put(spec, entry["stats"],
+                       entry.get("wall_time", 0.0),
+                       metrics=entry.get("metrics"))
+        return entry
+
+    def put(self, spec: RunSpec, stats_dict: Dict,
+            wall_time: float = 0.0,
+            metrics: Optional[Dict] = None) -> Path:
+        path = self.shared.put(spec, stats_dict, wall_time,
+                               metrics=metrics)
+        self.local.put(spec, stats_dict, wall_time, metrics=metrics)
+        self.counters.puts += 1
+        return path
+
+    def counters_snapshot(self) -> Dict:
+        return {"kind": self.kind, **self.counters.snapshot(),
+                "local": self.local.counters_snapshot(),
+                "shared": self.shared.counters_snapshot()}
+
+    def stats(self) -> Dict:
+        local, shared = self.local.stats(), self.shared.stats()
+        return {
+            "kind": self.kind,
+            "root": shared.get("root", ""),
+            "entries": shared["entries"],
+            "bytes": shared["bytes"],
+            "quarantined": shared["quarantined"] + local["quarantined"],
+            "local": local,
+            "shared": shared,
+            "generations": shared.get("generations", []),
+        }
+
+    def clear(self, stale_only: bool = False) -> int:
+        return (self.shared.clear(stale_only=stale_only)
+                + self.local.clear(stale_only=stale_only))
+
+    def evict(self, max_bytes: Optional[int] = None,
+              max_age: Optional[float] = None,
+              now: Optional[float] = None) -> int:
+        evicted = self.shared.evict(max_bytes=max_bytes, max_age=max_age,
+                                    now=now)
+        evicted += self.local.evict(max_bytes=max_bytes, max_age=max_age,
+                                    now=now)
+        self.counters.evictions += evicted
+        return evicted
+
+
+def backend_for(root: os.PathLike, shards: int = 0,
+                local_tier: Optional[os.PathLike] = None,
+                salt: Optional[str] = None) -> CacheBackend:
+    """The shared backend for one service root.
+
+    The store lives under ``<root>/cache`` — flat by default, sharded
+    when ``shards > 1`` — optionally fronted by a ``local_tier``
+    write-through directory (typically host-local fast storage).
+    """
+    cache_root = Path(root) / "cache"
+    backend: CacheBackend
+    if shards and shards > 1:
+        backend = ShardedBackend.create(cache_root, shards, salt=salt)
+    else:
+        backend = LocalDirBackend(root=cache_root, salt=salt)
+    if local_tier:
+        backend = TieredBackend(LocalDirBackend(root=local_tier,
+                                                salt=salt), backend)
+    return backend

@@ -1,0 +1,343 @@
+"""Async batch API: ``submit(specs) -> batch_id``, ``status``, ``fetch``.
+
+A batch is content-addressed like everything else in the service: its id
+is a digest of its member spec hashes, so resubmitting the same batch —
+from the same client or another one — is idempotent and lands on the
+same manifest.  ``submit`` enqueues only the specs the shared backend
+does not already hold; ``status`` folds queue state and backend
+occupancy into per-batch progress; ``fetch`` materialises
+:class:`~repro.runner.executor.RunResult` objects from the backend once
+the batch is complete.
+
+:meth:`ServiceClient.run_batch` is the synchronous convenience the
+:class:`~repro.runner.executor.Runner` delegates to when a service root
+is configured: submit, then *participate* — the client runs an inline
+:class:`~repro.service.worker.ServiceWorker` while waiting, preferring
+its own jobs, so a lone process still completes (it is its own worker)
+while any external workers share the load and concurrent clients dedupe
+against each other through the queue and the backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..runner.executor import RunResult
+from ..runner.spec import RunSpec
+from ..runner.worker import execute_spec
+from ..sim.stats import SimStats
+from .backend import (
+    DEFAULT_SERVICE_ROOT,
+    ENV_SERVICE_LOCAL_TIER,
+    ENV_SERVICE_ROOT,
+    ENV_SERVICE_SHARDS,
+    CacheBackend,
+    backend_for,
+)
+from .queue import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_VISIBILITY_TIMEOUT,
+    JobQueue,
+)
+from .worker import ServiceWorker
+
+#: Hex digits of the batch digest used as the batch id.
+_BATCH_ID_DIGITS = 12
+
+
+@dataclass
+class ServiceConfig:
+    """Where the service lives and how its queue behaves."""
+
+    root: Path
+    #: Shard the shared store across N roots (0/1 = flat local dir).
+    shards: int = 0
+    #: Optional host-local write-through tier in front of the shared root.
+    local_tier: Optional[Path] = None
+    visibility_timeout: float = DEFAULT_VISIBILITY_TIMEOUT
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    #: Client poll cadence while waiting on a batch.
+    poll: float = 0.05
+    #: Whether a waiting client also works the queue (recommended: a
+    #: lone client then never deadlocks waiting for absent workers).
+    inline_worker: bool = True
+
+    @classmethod
+    def from_environment(cls) -> Optional["ServiceConfig"]:
+        """Config from ``REPRO_SERVICE_*``, or None when no root is set."""
+        root = os.environ.get(ENV_SERVICE_ROOT)
+        if not root:
+            return None
+        shards = int(os.environ.get(ENV_SERVICE_SHARDS) or 0)
+        local_tier = os.environ.get(ENV_SERVICE_LOCAL_TIER) or None
+        return cls(root=Path(root), shards=shards,
+                   local_tier=Path(local_tier) if local_tier else None)
+
+    @classmethod
+    def resolve(cls, root: Optional[os.PathLike] = None
+                ) -> "ServiceConfig":
+        """Explicit root > environment > ``.repro-service``."""
+        if root is not None:
+            env = cls.from_environment()
+            if env is not None and Path(root) == env.root:
+                return env
+            return cls(root=Path(root))
+        return cls.from_environment() or cls(
+            root=Path(DEFAULT_SERVICE_ROOT))
+
+    def make_backend(self, salt: Optional[str] = None) -> CacheBackend:
+        return backend_for(self.root, shards=self.shards,
+                           local_tier=self.local_tier, salt=salt)
+
+    def make_queue(self) -> JobQueue:
+        return JobQueue(self.root,
+                        visibility_timeout=self.visibility_timeout,
+                        max_attempts=self.max_attempts)
+
+
+def batch_id_for(hashes: Sequence[str]) -> str:
+    """Content address of a batch: digest of its sorted member hashes."""
+    digest = hashlib.sha256("\n".join(sorted(set(hashes))).encode())
+    return digest.hexdigest()[:_BATCH_ID_DIGITS]
+
+
+class ServiceClient:
+    """Submit/status/fetch against one service root."""
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 backend: Optional[CacheBackend] = None,
+                 config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig.resolve(root)
+        self.root = self.config.root
+        self.queue = self.config.make_queue()
+        self.backend = backend if backend is not None \
+            else self.config.make_backend()
+        self.batches_dir = self.root / "batches"
+
+    # -- submit ----------------------------------------------------------------------
+
+    def submit(self, specs: Sequence[RunSpec]) -> str:
+        """Enqueue a batch; returns its (content-addressed) batch id.
+
+        Specs the shared backend already holds are not enqueued — the
+        cache is the product, the queue only carries misses.  Duplicate
+        specs within the batch collapse to one job, and a concurrent
+        identical submission from another client collapses against the
+        same pending files.
+        """
+        unique: Dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.content_hash(), spec)
+        batch_id = batch_id_for(list(unique))
+        enqueued = 0
+        cached = 0
+        for digest, spec in unique.items():
+            if self.backend.get(spec) is not None:
+                cached += 1
+                continue
+            _, new = self.queue.submit(spec)
+            enqueued += int(new)
+        manifest = {
+            "batch": batch_id,
+            "created": time.time(),
+            "hashes": list(unique),
+            "specs": [spec.key() for spec in unique.values()],
+            "labels": [spec.label() for spec in unique.values()],
+            "enqueued": enqueued,
+            "cached_at_submit": cached,
+        }
+        self.batches_dir.mkdir(parents=True, exist_ok=True)
+        path = self.batches_dir / f"{batch_id}.json"
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(manifest, sort_keys=True),
+                       encoding="utf-8")
+        os.replace(tmp, path)
+        return batch_id
+
+    def load_batch(self, batch_id: str) -> Dict:
+        path = self.batches_dir / f"{batch_id}.json"
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise KeyError(f"unknown batch {batch_id!r} under "
+                           f"{self.root}") from None
+
+    def _batch_specs(self, manifest: Dict) -> List[RunSpec]:
+        return [RunSpec.from_key(key) for key in manifest["specs"]]
+
+    # -- status ----------------------------------------------------------------------
+
+    def status(self, batch_id: str) -> Dict:
+        """Per-batch progress: done/failed/running/queued/missing."""
+        manifest = self.load_batch(batch_id)
+        states: Dict[str, str] = {}
+        for spec in self._batch_specs(manifest):
+            digest = spec.content_hash()
+            if self.backend.get(spec) is not None:
+                states[digest] = "done"
+            else:
+                states[digest] = self.queue.state_of(digest)
+        counts = {state: 0 for state in
+                  ("done", "failed", "running", "queued", "missing")}
+        for state in states.values():
+            counts[state] = counts.get(state, 0) + 1
+        total = len(states)
+        return {
+            "batch": batch_id,
+            "total": total,
+            **counts,
+            "complete": counts["done"] + counts["failed"] >= total,
+            "states": states,
+        }
+
+    # -- fetch -----------------------------------------------------------------------
+
+    def fetch(self, batch_id: str) -> List[RunResult]:
+        """Results for a complete batch, in manifest (submission) order.
+
+        Raises :class:`RuntimeError` while work is still outstanding —
+        poll :meth:`status` or use :meth:`wait` first.
+        """
+        manifest = self.load_batch(batch_id)
+        results: List[RunResult] = []
+        outstanding: List[str] = []
+        for spec in self._batch_specs(manifest):
+            result = self._result_for(spec)
+            if result is None:
+                outstanding.append(spec.label())
+            else:
+                results.append(result)
+        if outstanding:
+            raise RuntimeError(
+                f"batch {batch_id} has {len(outstanding)} unfinished "
+                f"job(s): {', '.join(outstanding[:5])}")
+        return results
+
+    def _result_for(self, spec: RunSpec,
+                    executed_locally: Optional[set] = None
+                    ) -> Optional[RunResult]:
+        """A terminal RunResult for one spec, or None while in flight."""
+        entry = self.backend.get(spec)
+        if entry is not None:
+            cached = (executed_locally is None
+                      or spec.content_hash() not in executed_locally)
+            return RunResult(
+                spec, stats=SimStats.from_dict(entry["stats"]),
+                cached=cached, wall_time=entry.get("wall_time", 0.0),
+                stats_dict=entry["stats"],
+                metrics=entry.get("metrics") or {})
+        record = self.queue.read_done(spec.content_hash())
+        if record is not None and not record.get("ok"):
+            return RunResult(spec, attempts=record.get("attempts", 1),
+                             error=record.get("error", "failed"))
+        return None
+
+    # -- wait / synchronous driving --------------------------------------------------
+
+    def wait(self, batch_id: str, timeout: Optional[float] = None,
+             task_fn: Callable[..., Dict] = execute_spec,
+             inline_worker: Optional[bool] = None,
+             telemetry=None) -> Dict:
+        """Block until the batch completes (or the timeout lapses).
+
+        With ``inline_worker`` (default: the config's setting) the
+        waiting client claims and executes jobs itself, preferring the
+        batch's own hashes.  Returns the final :meth:`status` dict.
+        """
+        manifest = self.load_batch(batch_id)
+        hashes = set(manifest["hashes"])
+        inline = (self.config.inline_worker if inline_worker is None
+                  else inline_worker)
+        worker = (ServiceWorker(self.queue, self.backend, task_fn=task_fn,
+                                telemetry=telemetry)
+                  if inline else None)
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            state = self.status(batch_id)
+            if state["complete"]:
+                return state
+            progressed = False
+            if worker is not None:
+                progressed = worker.step(prefer=hashes) is not None
+            self._heal_missing(state, manifest)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"batch {batch_id} incomplete after {timeout}s: "
+                    f"{state['done']}/{state['total']} done")
+            if not progressed:
+                time.sleep(self.config.poll)
+
+    def _heal_missing(self, state: Dict, manifest: Dict) -> None:
+        """Resubmit jobs that fell through every crack (evicted result
+        + lost pending file): at-least-once includes losing races."""
+        if state.get("missing"):
+            for spec in self._batch_specs(manifest):
+                if state["states"].get(spec.content_hash()) == "missing":
+                    self.queue.resubmit(spec)
+
+    def run_batch(self, specs: Sequence[RunSpec], telemetry=None,
+                  task_fn: Callable[..., Dict] = execute_spec,
+                  timeout: Optional[float] = None) -> List[RunResult]:
+        """Submit + drain + fetch: the Runner's service-mode path.
+
+        Returns one :class:`RunResult` per unique spec.  Results this
+        client's inline worker simulated itself are ``cached=False``
+        (they were real executions and were recorded in ``telemetry``
+        as completions); results other workers or earlier batches paid
+        for surface as dedupe hits.
+        """
+        unique: Dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.content_hash(), spec)
+        batch_id = self.submit(list(unique.values()))
+        manifest = self.load_batch(batch_id)
+        worker = (ServiceWorker(self.queue, self.backend, task_fn=task_fn,
+                                telemetry=telemetry)
+                  if self.config.inline_worker else None)
+        remaining = dict(unique)
+        results: Dict[str, RunResult] = {}
+        recorded: set = set()
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while remaining:
+            progressed = False
+            executed = worker.executed_hashes if worker else set()
+            for digest, spec in list(remaining.items()):
+                result = self._result_for(spec, executed_locally=executed)
+                if result is None:
+                    continue
+                results[digest] = result
+                del remaining[digest]
+                progressed = True
+                if telemetry is None or digest in recorded:
+                    continue
+                recorded.add(digest)
+                if result.ok and result.cached:
+                    # Another worker (or a concurrent client) paid for
+                    # this simulation: a service-level dedupe.
+                    telemetry.record_dedupe(spec.label(), digest)
+                elif not result.ok and (worker is None or digest not in
+                                        worker.failed_hashes):
+                    telemetry.record_failure(spec.label(),
+                                             result.error or "failed",
+                                             result.attempts)
+            if not remaining:
+                break
+            if worker is not None:
+                progressed |= worker.step(prefer=set(remaining)) is not None
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"service batch incomplete after {timeout}s: "
+                    f"{len(results)}/{len(unique)} done")
+            if not progressed:
+                status = self.status(batch_id)
+                self._heal_missing(status, manifest)
+                time.sleep(self.config.poll)
+        return [results[digest] for digest in unique]

@@ -1,0 +1,368 @@
+"""File/dir-based work queue with leases, heartbeats and at-least-once.
+
+The queue is three directories under a service root shared by every
+client and worker (one host or many, over a shared filesystem)::
+
+    <root>/queue/
+      pending/<spec-hash>.json     submitted jobs (spec in key() form)
+      leases/<spec-hash>.lease     in-flight claims, heartbeat-refreshed
+      done/<spec-hash>.json        terminal records (ok or failed)
+
+Everything is keyed by the spec's content hash, which is what makes the
+semantics simple:
+
+* **submission is idempotent** — a second submit of the same spec (from
+  any client, any time) is a no-op while the job is pending, in flight,
+  or done;
+* **in-flight dedupe** — a lease file is created with ``O_EXCL``, so
+  exactly one worker holds a spec at a time;
+* **at-least-once, not exactly-once** — a worker that dies mid-job stops
+  refreshing its lease (the heartbeat writer is
+  :class:`repro.resilience.heartbeat.Heartbeat`, judged by file mtime
+  exactly like the watchdog supervisor judges its workers); after
+  ``visibility_timeout`` seconds of silence any other worker may steal
+  the lease and re-execute.  Duplicate execution is harmless because
+  results are content-addressed: both workers write byte-identical
+  entries to the same cache address.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..resilience.heartbeat import Heartbeat, heartbeat_age
+from ..runner.spec import RunSpec
+
+#: Default seconds of lease silence before another worker may steal it.
+DEFAULT_VISIBILITY_TIMEOUT = 60.0
+
+#: Execution attempts per job before it is failed terminally.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+def default_worker_id() -> str:
+    """host-pid tag identifying a queue participant in leases/records."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def _write_json_atomic(path: Path, payload: Dict) -> None:
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> Optional[Dict]:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+@dataclass
+class Lease:
+    """One worker's exclusive claim on one pending job."""
+
+    queue: "JobQueue"
+    hash: str
+    spec: RunSpec
+    job: Dict
+    path: Path
+    #: True when this claim displaced a stale lease (previous owner died
+    #: or wedged past the visibility timeout).
+    stolen: bool = False
+    _heartbeat: Heartbeat = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._heartbeat = Heartbeat(self.path)
+
+    @property
+    def attempt(self) -> int:
+        return int(self.job.get("attempts", 0)) + 1
+
+    def beat(self, *, cycle: Optional[int] = None,
+             stage: Optional[str] = None) -> None:
+        """Refresh the lease mtime so the claim stays visible as live."""
+        self._heartbeat.beat(cycle=cycle, stage=stage)
+
+    def release(self) -> None:
+        """Give the claim up without completing it (job stays pending)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing steal
+            pass
+
+    def complete(self, *, executed: bool, wall_time: float = 0.0,
+                 worker: str = "") -> None:
+        """Terminal success: write the done record, retire the job."""
+        self.queue._write_done(self.hash, {
+            "hash": self.hash,
+            "spec": self.job.get("spec"),
+            "label": self.job.get("label", ""),
+            "ok": True,
+            "executed": executed,
+            "attempts": self.attempt,
+            "wall_time": wall_time,
+            "worker": worker,
+            "completed": time.time(),
+        })
+        self.queue._retire_pending(self.hash)
+        self.release()
+
+    def fail(self, error: str, worker: str = "") -> bool:
+        """Attempt failed: requeue if budget remains, else fail terminally.
+
+        Returns True when the job went back to pending (another attempt
+        will happen), False when a terminal failure record was written.
+        """
+        attempts = self.attempt
+        if attempts < self.queue.max_attempts:
+            job = dict(self.job)
+            job["attempts"] = attempts
+            job["last_error"] = error
+            _write_json_atomic(self.queue.pending_dir / f"{self.hash}.json",
+                               job)
+            self.release()
+            return True
+        self.queue._write_done(self.hash, {
+            "hash": self.hash,
+            "spec": self.job.get("spec"),
+            "label": self.job.get("label", ""),
+            "ok": False,
+            "executed": True,
+            "attempts": attempts,
+            "error": error,
+            "worker": worker,
+            "completed": time.time(),
+        })
+        self.queue._retire_pending(self.hash)
+        self.release()
+        return False
+
+
+class JobQueue:
+    """The shared pending/leases/done directories under one root."""
+
+    def __init__(self, root: os.PathLike,
+                 visibility_timeout: float = DEFAULT_VISIBILITY_TIMEOUT,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS):
+        self.root = Path(root)
+        self.visibility_timeout = visibility_timeout
+        self.max_attempts = max(1, int(max_attempts))
+        queue_root = self.root / "queue"
+        self.pending_dir = queue_root / "pending"
+        self.lease_dir = queue_root / "leases"
+        self.done_dir = queue_root / "done"
+
+    def ensure(self) -> "JobQueue":
+        for directory in (self.pending_dir, self.lease_dir,
+                          self.done_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(self, spec: RunSpec) -> "tuple[str, bool]":
+        """Enqueue one spec; returns ``(hash, newly_enqueued)``.
+
+        Content-addressed and idempotent: already pending or already
+        done means no new job file is written.
+        """
+        self.ensure()
+        digest = spec.content_hash()
+        if (self.done_dir / f"{digest}.json").exists():
+            return digest, False
+        path = self.pending_dir / f"{digest}.json"
+        if path.exists():
+            return digest, False
+        _write_json_atomic(path, {
+            "hash": digest,
+            "spec": spec.key(),
+            "label": spec.label(),
+            "submitted": time.time(),
+            "attempts": 0,
+        })
+        return digest, True
+
+    def resubmit(self, spec: RunSpec) -> str:
+        """Force a spec back onto the queue (self-heal of a lost job):
+        drops any terminal record first so ``submit`` enqueues anew."""
+        digest = spec.content_hash()
+        try:
+            (self.done_dir / f"{digest}.json").unlink()
+        except FileNotFoundError:
+            pass
+        return self.submit(spec)[0]
+
+    # -- claiming --------------------------------------------------------------------
+
+    def claim(self, worker_id: str,
+              prefer: Optional[Iterable[str]] = None) -> Optional[Lease]:
+        """Acquire a lease on some pending job, or None when starved.
+
+        ``prefer`` biases claim order toward the given spec hashes (a
+        client draining its own batch works its jobs first but still
+        helps with anything else in the queue).
+        """
+        self.ensure()
+        preferred = set(prefer) if prefer else set()
+        candidates = sorted(self.pending_dir.glob("*.json"),
+                            key=lambda p: (p.stem not in preferred,
+                                           p.name))
+        for path in candidates:
+            digest = path.stem
+            if (self.done_dir / f"{digest}.json").exists():
+                # Completed elsewhere; retire the stale pending file.
+                self._retire_pending(digest)
+                continue
+            acquired = self._acquire_lease(digest, worker_id)
+            if acquired is None:
+                continue
+            lease_path, stolen = acquired
+            job = _read_json(path)
+            if job is None:
+                # Pending file vanished (or is torn) between listing and
+                # read — drop the claim and move on.
+                try:
+                    lease_path.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+                continue
+            return Lease(queue=self, hash=digest,
+                         spec=RunSpec.from_key(job["spec"]), job=job,
+                         path=lease_path, stolen=stolen)
+        return None
+
+    def _acquire_lease(self, digest: str, worker_id: str):
+        """(lease_path, stolen) on success, None when someone holds it."""
+        lease_path = self.lease_dir / f"{digest}.lease"
+        stolen = False
+        try:
+            fd = os.open(lease_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                         0o644)
+        except FileExistsError:
+            age = heartbeat_age(lease_path)
+            if age is None or age <= self.visibility_timeout:
+                return None
+            # Stale lease: steal it.  os.replace is the election — only
+            # the first stealer's rename succeeds; the loser's raises.
+            tombstone = lease_path.with_name(
+                lease_path.name + f".expired.{os.getpid()}")
+            try:
+                os.replace(lease_path, tombstone)
+            except OSError:
+                return None
+            try:
+                tombstone.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            stolen = True
+            try:
+                fd = os.open(lease_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                # A third worker slipped in after the steal; yield.
+                return None
+        payload = {"worker": worker_id, "pid": os.getpid(),
+                   "time": time.time(), "stolen": stolen}
+        try:
+            os.write(fd, json.dumps(payload).encode("utf-8"))
+        finally:
+            os.close(fd)
+        return lease_path, stolen
+
+    # -- completion / inspection -----------------------------------------------------
+
+    def _write_done(self, digest: str, record: Dict) -> None:
+        self.ensure()
+        _write_json_atomic(self.done_dir / f"{digest}.json", record)
+
+    def _retire_pending(self, digest: str) -> None:
+        try:
+            (self.pending_dir / f"{digest}.json").unlink()
+        except FileNotFoundError:
+            pass
+
+    def read_done(self, digest: str) -> Optional[Dict]:
+        return _read_json(self.done_dir / f"{digest}.json")
+
+    def state_of(self, digest: str) -> str:
+        """One of ``done``/``failed``/``running``/``queued``/``missing``."""
+        record = self.read_done(digest)
+        if record is not None:
+            return "done" if record.get("ok") else "failed"
+        lease_age = heartbeat_age(self.lease_dir / f"{digest}.lease")
+        if lease_age is not None and lease_age <= self.visibility_timeout:
+            return "running"
+        if (self.pending_dir / f"{digest}.json").exists():
+            return "queued"
+        return "missing"
+
+    def counts(self) -> Dict[str, int]:
+        self.ensure()
+        leases = list(self.lease_dir.glob("*.lease"))
+        fresh = sum(
+            1 for lease in leases
+            if (heartbeat_age(lease) or 0.0) <= self.visibility_timeout)
+        done = failed = 0
+        for path in self.done_dir.glob("*.json"):
+            record = _read_json(path)
+            if record is not None and record.get("ok"):
+                done += 1
+            else:
+                failed += 1
+        return {
+            "pending": len(list(self.pending_dir.glob("*.json"))),
+            "leased": fresh,
+            "stale_leases": len(leases) - fresh,
+            "done": done,
+            "failed": failed,
+        }
+
+    def pending_hashes(self) -> List[str]:
+        self.ensure()
+        return [path.stem for path in
+                sorted(self.pending_dir.glob("*.json"))]
+
+    # -- housekeeping ----------------------------------------------------------------
+
+    def gc(self, max_age: Optional[float] = None,
+           now: Optional[float] = None) -> int:
+        """Reap aged-out done records, orphan tombstones and stale
+        leases of retired jobs; returns how many files were removed."""
+        self.ensure()
+        now = time.time() if now is None else now
+        removed = 0
+        if max_age is not None:
+            for path in self.done_dir.glob("*.json"):
+                record = _read_json(path)
+                completed = (record or {}).get("completed", 0.0)
+                if now - completed > max_age:
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+        for tombstone in self.lease_dir.glob("*.lease.expired.*"):
+            try:
+                tombstone.unlink()
+                removed += 1
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        for lease in self.lease_dir.glob("*.lease"):
+            digest = lease.stem
+            pending = (self.pending_dir / f"{digest}.json").exists()
+            age = heartbeat_age(lease, now=now)
+            if not pending and age is not None \
+                    and age > self.visibility_timeout:
+                try:
+                    lease.unlink()
+                    removed += 1
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+        return removed

@@ -1,0 +1,198 @@
+"""The service worker: pull leases, dedupe through the cache, simulate.
+
+A :class:`ServiceWorker` is the miss path of the batch service.  Its
+loop per job is:
+
+1. claim a lease from the :class:`~repro.service.queue.JobQueue`
+   (``O_EXCL`` lease file = in-flight dedupe);
+2. look the spec up in the shared :class:`CacheBackend` — a hit means
+   some other worker (or an earlier batch) already paid for this
+   simulation, so the job completes as a **dedupe** without executing;
+3. otherwise execute it — the default unit of work is
+   :func:`repro.runner.worker.execute_task` with the *lease file as the
+   heartbeat path*, so the same machinery that keeps the resilience
+   watchdog fed keeps the lease visible as live — and write the result
+   through the backend before retiring the job.
+
+Run one worker per core per host; any number of hosts sharing the
+service root cooperate through the same queue.  A worker crash merely
+lets its lease go stale; the job is re-executed elsewhere
+(at-least-once), and content addressing makes the duplicate write
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Set
+
+from ..runner.worker import WorkerTask, execute_spec, execute_task
+from .backend import CacheBackend
+from .queue import JobQueue, Lease, default_worker_id
+
+
+class ServiceWorker:
+    """One queue consumer bound to a shared backend."""
+
+    def __init__(self, queue: JobQueue, backend: CacheBackend,
+                 task_fn: Callable[..., Dict] = execute_spec,
+                 telemetry=None,
+                 worker_id: Optional[str] = None):
+        """
+        Args:
+            queue: the shared job queue.
+            backend: the shared result store (the dedupe authority).
+            task_fn: spec -> payload unit of work.  The default
+                ``execute_spec`` is upgraded to a heartbeating
+                ``execute_task`` automatically; a custom ``task_fn``
+                (tests, alternative executors) is called as
+                ``task_fn(spec)`` after one lease beat.
+            telemetry: optional
+                :class:`~repro.runner.telemetry.RunnerTelemetry`
+                receiving launch/complete/failure events for jobs this
+                worker executes (dedupes are left to the batch client,
+                which knows whose batch they saved).
+            worker_id: stable tag for lease/done records; defaults to
+                ``<hostname>-<pid>``.
+        """
+        self.queue = queue
+        self.backend = backend
+        self.task_fn = task_fn
+        self.telemetry = telemetry
+        self.worker_id = worker_id or default_worker_id()
+        self.started = time.time()
+        # Counters mirrored into the summary file for cross-process
+        # assertions ("exactly one simulation per unique spec hash").
+        self.executed = 0
+        self.deduped = 0
+        self.failures = 0
+        self.requeues = 0
+        self.stolen = 0
+        #: Hashes this worker itself simulated / terminally failed —
+        #: the batch client uses these to avoid double-counting
+        #: telemetry for results it harvests.
+        self.executed_hashes: Set[str] = set()
+        self.failed_hashes: Set[str] = set()
+
+    # -- one job ---------------------------------------------------------------------
+
+    def step(self, prefer=None) -> Optional[str]:
+        """Process at most one job; returns its hash, or None if starved."""
+        lease = self.queue.claim(self.worker_id, prefer=prefer)
+        if lease is None:
+            return None
+        if lease.stolen:
+            self.stolen += 1
+        return self._process(lease)
+
+    def _process(self, lease: Lease) -> str:
+        spec, digest = lease.spec, lease.hash
+        entry = self.backend.get(spec)
+        if entry is not None:
+            self.deduped += 1
+            lease.complete(executed=False,
+                           wall_time=entry.get("wall_time", 0.0),
+                           worker=self.worker_id)
+            return digest
+        if self.telemetry is not None:
+            self.telemetry.record_launch(spec.label())
+        try:
+            payload = self._execute(spec, lease)
+        except Exception as exc:  # noqa: BLE001 - routed to the queue
+            message = f"{type(exc).__name__}: {exc}"
+            requeued = lease.fail(message, worker=self.worker_id)
+            if requeued:
+                self.requeues += 1
+            else:
+                self.failures += 1
+                self.failed_hashes.add(digest)
+                if self.telemetry is not None:
+                    self.telemetry.record_failure(spec.label(), message,
+                                                  lease.attempt)
+            return digest
+        wall = payload.get("wall_time", 0.0)
+        self.backend.put(spec, payload["stats"], wall,
+                         metrics=payload.get("metrics"))
+        lease.complete(executed=True, wall_time=wall,
+                       worker=self.worker_id)
+        self.executed += 1
+        self.executed_hashes.add(digest)
+        if self.telemetry is not None:
+            self.telemetry.record_complete(spec.label(), wall,
+                                           lease.attempt, digest)
+        return digest
+
+    def _execute(self, spec, lease: Lease) -> Dict:
+        if self.task_fn is execute_spec:
+            # The lease file doubles as the heartbeat file: the worker's
+            # periodic beats (resilience machinery, every checkpoint /
+            # progress cadence) are exactly what keeps the lease from
+            # being stolen mid-simulation.
+            return execute_task(WorkerTask(spec=spec,
+                                           attempt=lease.attempt,
+                                           heartbeat_path=str(lease.path)))
+        lease.beat(stage="execute")
+        return self.task_fn(spec)
+
+    # -- the loop --------------------------------------------------------------------
+
+    def drain(self, prefer=None, max_jobs: Optional[int] = None,
+              idle_exit: Optional[float] = None,
+              poll: float = 0.1) -> int:
+        """Consume jobs until the queue starves; returns jobs processed.
+
+        With ``idle_exit`` the worker lingers that many seconds after
+        the queue empties (a daemon-ish mode for CI: it survives gaps
+        between submissions); without it, one starved claim ends the
+        drain.  ``max_jobs`` bounds the total for tests.
+        """
+        processed = 0
+        idle_since: Optional[float] = None
+        while max_jobs is None or processed < max_jobs:
+            digest = self.step(prefer=prefer)
+            if digest is not None:
+                processed += 1
+                idle_since = None
+                continue
+            if idle_exit is None:
+                break
+            now = time.monotonic()
+            if idle_since is None:
+                idle_since = now
+            if now - idle_since > idle_exit:
+                break
+            time.sleep(poll)
+        return processed
+
+    # -- summary ---------------------------------------------------------------------
+
+    def summary(self) -> Dict:
+        return {
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "started": self.started,
+            "finished": time.time(),
+            "executed": self.executed,
+            "deduped": self.deduped,
+            "failures": self.failures,
+            "requeues": self.requeues,
+            "stolen_leases": self.stolen,
+            "backend": self.backend.counters_snapshot(),
+        }
+
+    def write_summary(self, path: Optional[os.PathLike] = None) -> Path:
+        """Persist the counters (default ``<root>/workers/<id>.json``)
+        so a multi-process run can audit who simulated what."""
+        if path is None:
+            workers_dir = self.queue.root / "workers"
+            workers_dir.mkdir(parents=True, exist_ok=True)
+            path = workers_dir / f"{self.worker_id}.json"
+        path = Path(path)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(self.summary(), sort_keys=True,
+                                  indent=2), encoding="utf-8")
+        os.replace(tmp, path)
+        return path

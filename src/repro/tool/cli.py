@@ -12,6 +12,9 @@ adaptation and its effect::
     ssp-postpass cache stats
     ssp-postpass cache clear [--stale]
     ssp-postpass runs
+    ssp-postpass service submit em3d health --variant ssp
+    ssp-postpass service worker --idle-exit 5
+    ssp-postpass service status BATCH && ssp-postpass service fetch BATCH
 
 All simulations go through :mod:`repro.runner`: results are cached under
 ``.repro-cache/`` (disable with ``--no-cache``) and ``--jobs N`` fans each
@@ -30,6 +33,13 @@ dropped by fault isolation — (3), and a semantic-equivalence rollback
 (4).  ``--inject SITE[:PROB[:TIMES]]`` (with ``--inject-seed``) arms the
 deterministic fault-injection harness; ``--inject list`` prints the
 sites.
+
+Service mode (:mod:`repro.service`): ``service submit`` enqueues a batch
+of runs on a shared root (``--root`` or ``REPRO_SERVICE_ROOT``), any
+number of ``service worker`` processes — on any host sharing the root —
+drain the queue into the shared content-addressed backend, and ``service
+status``/``fetch`` poll and collect results.  ``service gc`` prunes aged
+queue records and evicts cold cache entries by size/age budget.
 
 Resilience (:mod:`repro.resilience`): ``--checkpoint-every N`` writes a
 crash-safe checkpoint every N simulated cycles, ``--resume`` continues a
@@ -98,7 +108,6 @@ def _guard_exit_code(guard, base: int) -> int:
 
 
 def _make_runner(args) -> Runner:
-    cache = None if args.no_cache else ResultCache.from_environment()
     resilience = None
     if (getattr(args, "deadline", None) is not None
             or getattr(args, "checkpoint_every", None) is not None
@@ -108,7 +117,15 @@ def _make_runner(args) -> Runner:
             deadline=args.deadline,
             checkpoint_every=args.checkpoint_every,
             resume=args.resume)
-    return Runner(jobs=args.jobs, cache=cache, resilience=resilience)
+    if args.no_cache:
+        # Also force standalone mode: service dedupe flows through the
+        # shared backend, which --no-cache explicitly opts out of.
+        return Runner(jobs=args.jobs, cache=None, resilience=resilience,
+                      service=None)
+    # Default cache AND service resolution stay inside Runner, so the
+    # CLI honours REPRO_CACHE_DIR / REPRO_SERVICE_ROOT identically to
+    # library use.
+    return Runner(jobs=args.jobs, resilience=resilience)
 
 
 def _observed_artifacts(spec: RunSpec, tracer) -> WorkloadArtifacts:
@@ -296,16 +313,209 @@ def _cache_command(argv: List[str]) -> int:
         print(f"current salt: {info['current_salt']}")
         print(f"entries:      {info['entries']} "
               f"({info['bytes'] / 1024:.1f} KiB)")
+        if info.get("quarantined"):
+            print(f"quarantined:  {info['quarantined']} corrupt "
+                  f"entr{'y' if info['quarantined'] == 1 else 'ies'} "
+                  f"(*.json.bad; reap with 'cache clear --stale')")
         for gen in info["generations"]:
             tag = " (current)" if gen["current"] else " (stale)"
-            print(f"  {gen['salt']}{tag}: {gen['entries']} entries, "
-                  f"{gen['bytes'] / 1024:.1f} KiB")
+            line = (f"  {gen['salt']}{tag}: {gen['entries']} entries, "
+                    f"{gen['bytes'] / 1024:.1f} KiB")
+            if gen.get("quarantined"):
+                line += f", {gen['quarantined']} quarantined"
+            print(line)
         if not info["generations"]:
             print("  (empty)")
         return 0
     removed = cache.clear(stale_only=args.stale)
     print(f"removed {removed} cached result(s)")
     return 0
+
+
+def _add_service_root_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="service root directory (default: "
+                             "$REPRO_SERVICE_ROOT or .repro-service)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard the shared store across N roots by "
+                             "spec-hash prefix (default: "
+                             "$REPRO_SERVICE_SHARDS or flat)")
+    parser.add_argument("--local-tier", default=None, metavar="DIR",
+                        help="host-local write-through cache tier in "
+                             "front of the shared root (default: "
+                             "$REPRO_SERVICE_LOCAL_TIER or none)")
+    parser.add_argument("--visibility-timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="seconds of lease silence before another "
+                             "worker may steal an in-flight job")
+
+
+def _service_config(args):
+    from ..service import ServiceConfig
+    config = ServiceConfig.resolve(args.root)
+    if args.shards is not None:
+        config.shards = args.shards
+    if args.local_tier is not None:
+        config.local_tier = Path(args.local_tier)
+    if args.visibility_timeout is not None:
+        config.visibility_timeout = args.visibility_timeout
+    return config
+
+
+def _service_specs(args) -> List[RunSpec]:
+    names = args.workloads or list(PAPER_ORDER)
+    variants = args.variant or ["ssp"]
+    return [RunSpec.create(name, scale=args.scale, model=args.model,
+                           variant=variant)
+            for name in names for variant in variants]
+
+
+def _print_batch_status(status: dict) -> None:
+    print(f"batch {status['batch']}: {status['done']}/{status['total']} "
+          f"done, {status['failed']} failed, {status['running']} "
+          f"running, {status['queued']} queued"
+          + (f", {status['missing']} missing" if status["missing"]
+             else ""))
+
+
+def _service_command(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ssp-postpass service",
+        description="Multi-host batch service: submit simulation batches "
+                    "to a shared queue, drain them with worker "
+                    "processes, poll and fetch results from the shared "
+                    "content-addressed backend.")
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    p_submit = sub.add_parser(
+        "submit", help="enqueue a batch; prints its batch id")
+    p_submit.add_argument("workloads", nargs="*",
+                          help="benchmarks to run (default: the seven "
+                               "paper workloads)")
+    p_submit.add_argument("--scale", default="small",
+                          choices=("tiny", "small", "default"))
+    p_submit.add_argument("--model", default="inorder",
+                          choices=("inorder", "ooo"))
+    p_submit.add_argument("--variant", action="append", default=None,
+                          metavar="VARIANT",
+                          help="variant to run per workload; repeat the "
+                               "flag for several (default: ssp)")
+    _add_service_root_options(p_submit)
+
+    p_status = sub.add_parser("status", help="poll one batch")
+    p_status.add_argument("batch_id")
+    p_status.add_argument("--json", action="store_true",
+                          help="print the full status document as JSON")
+    _add_service_root_options(p_status)
+
+    p_fetch = sub.add_parser(
+        "fetch", help="collect a complete batch's results")
+    p_fetch.add_argument("batch_id")
+    p_fetch.add_argument("--json", metavar="FILE",
+                         help="also write results as JSON to FILE")
+    _add_service_root_options(p_fetch)
+
+    p_worker = sub.add_parser(
+        "worker", help="drain the queue (run one per core per host)")
+    p_worker.add_argument("--max-jobs", type=int, default=None,
+                          metavar="N", help="stop after N jobs")
+    p_worker.add_argument("--idle-exit", type=float, default=None,
+                          metavar="SECS",
+                          help="linger SECS after the queue empties, "
+                               "then exit (default: exit when starved)")
+    _add_service_root_options(p_worker)
+
+    p_gc = sub.add_parser(
+        "gc", help="prune aged queue records and evict cold entries")
+    p_gc.add_argument("--max-age", type=float, default=None,
+                      metavar="SECS",
+                      help="evict cache entries and done records older "
+                           "than SECS")
+    p_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                      help="evict oldest cache entries until the store "
+                           "fits in N bytes")
+    _add_service_root_options(p_gc)
+
+    args = parser.parse_args(argv)
+    from ..service import ServiceClient, ServiceWorker
+    config = _service_config(args)
+
+    if args.action == "submit":
+        client = ServiceClient(config=config)
+        specs = _service_specs(args)
+        batch_id = client.submit(specs)
+        manifest = client.load_batch(batch_id)
+        print(f"batch {batch_id}: {len(manifest['hashes'])} unique "
+              f"spec(s), {manifest['enqueued']} enqueued, "
+              f"{manifest['cached_at_submit']} already cached")
+        print(f"poll with: ssp-postpass service status {batch_id} "
+              f"--root {config.root}")
+        return EXIT_OK
+
+    if args.action == "status":
+        client = ServiceClient(config=config)
+        try:
+            status = client.status(args.batch_id)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return EXIT_FAILURE
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            _print_batch_status(status)
+        return EXIT_OK if status["complete"] else EXIT_FAILURE
+
+    if args.action == "fetch":
+        client = ServiceClient(config=config)
+        try:
+            results = client.fetch(args.batch_id)
+        except (KeyError, RuntimeError) as exc:
+            print(exc.args[0], file=sys.stderr)
+            return EXIT_FAILURE
+        failures = 0
+        for result in results:
+            if result.ok:
+                print(f"  {result.spec.label():<36} "
+                      f"{result.stats.cycles:>12,} cycles")
+            else:
+                failures += 1
+                print(f"  {result.spec.label():<36} FAILED: "
+                      f"{result.error}")
+        if args.json:
+            doc = [{"spec": r.spec.key(), "label": r.spec.label(),
+                    "ok": r.ok, "stats": r.stats_dict or None,
+                    "error": r.error, "attempts": r.attempts}
+                   for r in results]
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+            print(f"results written to {args.json}")
+        return EXIT_OK if not failures else EXIT_FAILURE
+
+    if args.action == "worker":
+        worker = ServiceWorker(config.make_queue(),
+                               config.make_backend())
+        processed = worker.drain(max_jobs=args.max_jobs,
+                                 idle_exit=args.idle_exit)
+        summary_path = worker.write_summary()
+        print(f"worker {worker.worker_id}: {processed} job(s) — "
+              f"{worker.executed} executed, {worker.deduped} deduped, "
+              f"{worker.failures} failed, {worker.requeues} requeued, "
+              f"{worker.stolen} stolen lease(s)")
+        print(f"summary written to {summary_path}")
+        return EXIT_OK
+
+    # gc
+    queue = config.make_queue()
+    backend = config.make_backend()
+    reaped = queue.gc(max_age=args.max_age)
+    evicted = backend.evict(max_bytes=args.max_bytes,
+                            max_age=args.max_age)
+    print(f"queue: reaped {reaped} record(s); cache: evicted {evicted} "
+          f"entr{'y' if evicted == 1 else 'ies'}")
+    counts = queue.counts()
+    print(f"queue now: {counts['pending']} pending, {counts['leased']} "
+          f"leased, {counts['done']} done, {counts['failed']} failed")
+    return EXIT_OK
 
 
 def _runs_command(argv: List[str]) -> int:
@@ -466,6 +676,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _check_command(argv[1:])
     if argv and argv[0] == "runs":
         return _runs_command(argv[1:])
+    if argv and argv[0] == "service":
+        return _service_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="ssp-postpass",

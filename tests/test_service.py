@@ -1,0 +1,305 @@
+"""Tests for the batch service: client API, worker, Runner integration.
+
+The headline property, asserted end to end with two real worker
+processes: a duplicate-heavy batch submitted twice over a shared
+queue+backend yields **exactly one simulation per unique spec hash**,
+and the collected ``SimStats`` are byte-identical to a single-host
+standalone run.
+"""
+
+import json
+import multiprocessing
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runner import Runner, RunnerTelemetry, RunSpec
+from repro.service import (
+    JobQueue,
+    ServiceClient,
+    ServiceConfig,
+    ServiceWorker,
+    batch_id_for,
+)
+from repro.sim.caches import MemorySystem
+from repro.sim.config import MachineConfig
+from repro.sim.stats import SimStats
+from repro.tool.cli import main
+
+EMPTY_STATS = SimStats(MemorySystem(MachineConfig())).to_dict()
+
+#: Spec hashes executed by fake_task in this process.
+_CALLS = []
+
+
+def fake_task(spec):
+    _CALLS.append(spec.content_hash())
+    return {"stats": EMPTY_STATS, "wall_time": 0.25}
+
+
+def failing_task(spec):
+    raise RuntimeError("kaboom")
+
+
+def flaky_task(spec):
+    """Fails on the first attempt; the workload field carries a marker
+    path (mirroring test_runner's convention for fake specs)."""
+    marker = Path(spec.workload)
+    if not marker.exists():
+        marker.write_text("attempted")
+        raise RuntimeError("transient")
+    return {"stats": EMPTY_STATS, "wall_time": 0.1}
+
+
+def spec_n(i):
+    return RunSpec(workload=f"wl-{i}")
+
+
+def make_client(tmp_path, **overrides):
+    options = {"root": tmp_path / "svc", "poll": 0.01}
+    options.update(overrides)
+    return ServiceClient(config=ServiceConfig(**options))
+
+
+class TestBatchId:
+    def test_content_addressed(self):
+        hashes = [spec_n(i).content_hash() for i in range(3)]
+        assert batch_id_for(hashes) == batch_id_for(list(reversed(hashes)))
+        assert batch_id_for(hashes) == batch_id_for(hashes + hashes[:1])
+        assert batch_id_for(hashes) != batch_id_for(hashes[:2])
+
+
+class TestBatchAPI:
+    def test_submit_status_fetch_flow(self, tmp_path):
+        client = make_client(tmp_path, inline_worker=False)
+        specs = [spec_n(0), spec_n(1), spec_n(0)]
+        batch_id = client.submit(specs)
+        manifest = client.load_batch(batch_id)
+        assert len(manifest["hashes"]) == 2
+        assert manifest["enqueued"] == 2
+        status = client.status(batch_id)
+        assert status["queued"] == 2 and not status["complete"]
+        with pytest.raises(RuntimeError):
+            client.fetch(batch_id)
+
+        worker = ServiceWorker(client.queue, client.backend,
+                               task_fn=fake_task)
+        assert worker.drain() == 2
+        status = client.status(batch_id)
+        assert status["complete"] and status["done"] == 2
+        results = client.fetch(batch_id)
+        assert [r.spec.content_hash() for r in results] \
+            == manifest["hashes"]
+        assert all(r.ok for r in results)
+        assert results[0].stats.equal_to(
+            SimStats.from_dict(EMPTY_STATS))
+
+    def test_resubmitting_batch_is_idempotent(self, tmp_path):
+        client = make_client(tmp_path, inline_worker=False)
+        specs = [spec_n(0), spec_n(1)]
+        first = client.submit(specs)
+        assert client.submit(list(reversed(specs))) == first
+        assert client.queue.counts()["pending"] == 2
+
+    def test_submit_skips_cached_specs(self, tmp_path):
+        client = make_client(tmp_path)
+        spec = spec_n(0)
+        client.backend.put(spec, EMPTY_STATS, wall_time=1.0)
+        batch_id = client.submit([spec])
+        manifest = client.load_batch(batch_id)
+        assert manifest["enqueued"] == 0
+        assert manifest["cached_at_submit"] == 1
+        assert client.status(batch_id)["complete"]
+        assert client.fetch(batch_id)[0].cached
+
+    def test_unknown_batch_raises(self, tmp_path):
+        client = make_client(tmp_path)
+        with pytest.raises(KeyError):
+            client.status("deadbeef0000")
+
+
+class TestRunBatch:
+    def test_executes_each_unique_spec_once(self, tmp_path):
+        client = make_client(tmp_path)
+        _CALLS.clear()
+        specs = [spec_n(0), spec_n(1), spec_n(0), spec_n(1), spec_n(2)]
+        telemetry = RunnerTelemetry()
+        results = client.run_batch(specs, telemetry=telemetry,
+                                   task_fn=fake_task, timeout=30)
+        assert len(results) == 3
+        assert all(r.ok and not r.cached for r in results)
+        assert len(_CALLS) == len(set(_CALLS)) == 3
+        assert telemetry.launched == 3
+        assert telemetry.dedupe_hits == 0
+
+    def test_second_client_sees_dedupe_hits(self, tmp_path):
+        specs = [spec_n(0), spec_n(1)]
+        make_client(tmp_path).run_batch(specs, task_fn=fake_task,
+                                        timeout=30)
+        _CALLS.clear()
+        telemetry = RunnerTelemetry()
+        results = make_client(tmp_path).run_batch(
+            specs, telemetry=telemetry, task_fn=fake_task, timeout=30)
+        assert all(r.ok and r.cached for r in results)
+        assert _CALLS == []
+        assert telemetry.launched == 0
+        assert telemetry.dedupe_hits == 2
+        assert telemetry.hit_rate == 1.0
+
+    def test_terminal_failure_surfaces_once(self, tmp_path):
+        client = make_client(tmp_path, max_attempts=1)
+        telemetry = RunnerTelemetry()
+        results = client.run_batch([spec_n(0)], telemetry=telemetry,
+                                   task_fn=failing_task, timeout=30)
+        assert not results[0].ok
+        assert "kaboom" in results[0].error
+        assert telemetry.failures == 1
+
+    def test_requeue_then_success(self, tmp_path):
+        client = make_client(tmp_path, max_attempts=3)
+        marker_spec = RunSpec(workload=str(tmp_path / "marker"))
+        results = client.run_batch([marker_spec], task_fn=flaky_task,
+                                   timeout=30)
+        assert results[0].ok
+        record = client.queue.read_done(marker_spec.content_hash())
+        assert record["attempts"] == 2
+
+
+class TestRunnerServiceMode:
+    def test_standalone_without_configuration(self):
+        assert Runner(cache=None).service is None
+
+    def test_environment_enables_service(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_ROOT", str(tmp_path / "svc"))
+        monkeypatch.setenv("REPRO_SERVICE_SHARDS", "3")
+        runner = Runner(task_fn=fake_task)
+        assert runner.service is not None
+        assert runner.service.root == tmp_path / "svc"
+        assert runner.cache.kind == "sharded"
+
+    def test_runner_is_submit_plus_wait(self, tmp_path):
+        _CALLS.clear()
+        config = ServiceConfig(root=tmp_path / "svc", poll=0.01)
+        runner = Runner(service=config, task_fn=fake_task)
+        specs = [spec_n(0), spec_n(1), spec_n(0)]
+        results = runner.run(specs)
+        assert len(results) == 3
+        assert all(r.ok for r in results)
+        assert results[0].stats_dict == results[2].stats_dict
+        assert len(_CALLS) == 2
+        snap = runner.telemetry.snapshot()
+        assert snap["launched"] == 2
+        assert snap["cache_backend"]["puts"] == 2
+        # A second runner over the same root: pure cache hits.
+        second = Runner(service=config, task_fn=fake_task)
+        again = second.run(specs)
+        assert all(r.cached for r in again)
+        assert len(_CALLS) == 2
+        assert second.telemetry.cache_hits == 2
+
+    def test_service_stats_match_standalone(self, tmp_path):
+        spec = RunSpec.create("treeadd.df", variant="ssp")
+        plain = Runner(cache=None).run_one(spec)
+        config = ServiceConfig(root=tmp_path / "svc", poll=0.01)
+        served = Runner(service=config).run_one(spec)
+        assert served.ok
+        assert json.dumps(served.stats_dict, sort_keys=True) \
+            == json.dumps(plain.stats_dict, sort_keys=True)
+
+
+def _worker_main(root, worker_id):
+    config = ServiceConfig(root=Path(root))
+    worker = ServiceWorker(config.make_queue(), config.make_backend(),
+                           worker_id=worker_id)
+    worker.drain(idle_exit=1.5, poll=0.05)
+    worker.write_summary()
+
+
+class TestTwoWorkerProcesses:
+    """The acceptance scenario, scaled to two workloads for test time:
+    a duplicate-heavy batch submitted twice concurrently, drained by two
+    real worker processes, executes each unique spec exactly once."""
+
+    SPECS = [
+        RunSpec.create("treeadd.df", variant="ssp"),
+        RunSpec.create("treeadd.bf", variant="ssp"),
+    ]
+
+    def test_exactly_one_simulation_per_unique_hash(self, tmp_path):
+        root = tmp_path / "svc"
+        batch = self.SPECS + self.SPECS  # duplicate-heavy
+        config = ServiceConfig(root=root, inline_worker=False,
+                               poll=0.02)
+        clients = [ServiceClient(config=config) for _ in range(2)]
+        batch_ids = [client.submit(batch) for client in clients]
+        assert batch_ids[0] == batch_ids[1]
+
+        workers = [
+            multiprocessing.Process(target=_worker_main,
+                                    args=(str(root), f"test-w{i}"))
+            for i in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        try:
+            deadline = time.monotonic() + 120
+            while not clients[0].status(batch_ids[0])["complete"]:
+                assert time.monotonic() < deadline, "batch stalled"
+                time.sleep(0.1)
+        finally:
+            for proc in workers:
+                proc.join(timeout=60)
+                assert proc.exitcode == 0
+
+        summaries = [json.loads(path.read_text())
+                     for path in sorted((root / "workers").glob("*.json"))]
+        assert len(summaries) == 2
+        executed = sum(s["executed"] for s in summaries)
+        assert executed == len(self.SPECS), \
+            f"expected exactly one simulation per unique hash: {summaries}"
+        assert sum(s["failures"] for s in summaries) == 0
+
+        for spec in self.SPECS:
+            record = clients[0].queue.read_done(spec.content_hash())
+            assert record["ok"] and record["executed"]
+            assert record["attempts"] == 1
+
+        # Golden parity: multi-process service results are byte-identical
+        # to a standalone single-host run of the same specs.
+        fetched = clients[1].fetch(batch_ids[1])
+        standalone = Runner(cache=None).run(self.SPECS)
+        for service_result, plain in zip(fetched, standalone):
+            assert json.dumps(service_result.stats_dict, sort_keys=True) \
+                == json.dumps(plain.stats_dict, sort_keys=True)
+
+
+class TestServiceCLI:
+    def test_submit_worker_status_fetch_roundtrip(self, tmp_path,
+                                                  capsys):
+        root = str(tmp_path / "svc")
+        assert main(["service", "submit", "treeadd.df",
+                     "--root", root]) == 0
+        batch_id = capsys.readouterr().out.split()[1].rstrip(":")
+        assert main(["service", "status", batch_id,
+                     "--root", root]) == 1  # incomplete
+        capsys.readouterr()
+        assert main(["service", "worker", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "1 executed" in out
+        assert main(["service", "status", batch_id,
+                     "--root", root]) == 0
+        results_json = tmp_path / "results.json"
+        assert main(["service", "fetch", batch_id, "--root", root,
+                     "--json", str(results_json)]) == 0
+        out = capsys.readouterr().out
+        assert "treeadd.df/small/inorder/ssp" in out
+        doc = json.loads(results_json.read_text())
+        assert len(doc) == 1 and doc[0]["ok"]
+        assert main(["service", "gc", "--root", root]) == 0
+
+    def test_worker_on_empty_queue_exits_cleanly(self, tmp_path,
+                                                 capsys):
+        assert main(["service", "worker",
+                     "--root", str(tmp_path / "svc")]) == 0
+        assert "0 job(s)" in capsys.readouterr().out

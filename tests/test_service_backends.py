@@ -1,0 +1,266 @@
+"""Backend conformance suite: one contract, three implementations.
+
+Every :class:`~repro.service.backend.CacheBackend` — the classic local
+directory, the hash-prefix-sharded store, and the tiered local-over-
+shared composite — must honour the same get/put/corruption/eviction
+contract, so the tests here are parametrized over a backend factory and
+run identically against all three.  Implementation-specific behaviour
+(shard routing, tier promotion) gets its own focused classes below.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.runner import RunSpec
+from repro.runner.cache import CacheCounters
+from repro.service import (
+    LocalDirBackend,
+    ShardedBackend,
+    TieredBackend,
+    backend_for,
+)
+from repro.sim.caches import MemorySystem
+from repro.sim.config import MachineConfig
+from repro.sim.stats import SimStats
+
+EMPTY_STATS = SimStats(MemorySystem(MachineConfig())).to_dict()
+
+SALT = "saltsalt00000000"
+
+
+def make_backend(kind, root):
+    if kind == "local":
+        return LocalDirBackend(root=root / "store", salt=SALT)
+    if kind == "sharded":
+        return ShardedBackend.create(root / "store", 4, salt=SALT)
+    assert kind == "tiered"
+    return TieredBackend(
+        LocalDirBackend(root=root / "local", salt=SALT),
+        LocalDirBackend(root=root / "shared", salt=SALT))
+
+
+def spec_n(i):
+    return RunSpec(workload=f"wl-{i}")
+
+
+def entry_files(root, spec):
+    """Every on-disk copy of a spec's entry (tiered keeps two)."""
+    return sorted(root.rglob(f"{spec.content_hash()}.json"))
+
+
+@pytest.fixture(params=["local", "sharded", "tiered"])
+def backend(request, tmp_path):
+    return make_backend(request.param, tmp_path)
+
+
+class TestBackendContract:
+    def test_miss_then_roundtrip(self, backend):
+        spec = spec_n(0)
+        assert backend.get(spec) is None
+        backend.put(spec, EMPTY_STATS, wall_time=1.5, metrics={"m": 1})
+        entry = backend.get(spec)
+        assert entry["stats"] == EMPTY_STATS
+        assert entry["wall_time"] == 1.5
+        assert entry["metrics"] == {"m": 1}
+        assert entry["spec"] == spec.key()
+
+    def test_counters_track_traffic(self, backend):
+        spec = spec_n(1)
+        backend.get(spec)                      # miss
+        backend.put(spec, EMPTY_STATS)
+        backend.get(spec)                      # hit
+        counters = backend.counters
+        assert counters.misses >= 1
+        assert counters.puts >= 1
+        assert counters.hits >= 1
+
+    def test_counters_snapshot_shape(self, backend):
+        snap = backend.counters_snapshot()
+        assert snap["kind"] == backend.kind
+        for field in CacheCounters.FIELDS:
+            assert field in snap
+
+    def test_corrupt_entry_quarantined_and_remissable(self, backend,
+                                                      tmp_path):
+        spec = spec_n(2)
+        backend.put(spec, EMPTY_STATS)
+        for path in entry_files(tmp_path, spec):
+            path.write_text("{torn", encoding="utf-8")
+        assert backend.get(spec) is None
+        bad = list(tmp_path.rglob(f"{spec.content_hash()}.json.bad"))
+        assert bad, "corrupt entry should be quarantined, not deleted"
+        assert backend.stats()["quarantined"] >= 1
+        # The address is usable again: re-simulate, re-store, re-serve.
+        backend.put(spec, EMPTY_STATS)
+        assert backend.get(spec)["stats"] == EMPTY_STATS
+
+    def test_clear_stale_reaps_quarantined(self, backend, tmp_path):
+        keep, corrupt = spec_n(3), spec_n(4)
+        backend.put(keep, EMPTY_STATS)
+        backend.put(corrupt, EMPTY_STATS)
+        for path in entry_files(tmp_path, corrupt):
+            path.write_text("not json", encoding="utf-8")
+        backend.get(corrupt)
+        assert backend.stats()["quarantined"] >= 1
+        removed = backend.clear(stale_only=True)
+        assert removed >= 1
+        assert backend.stats()["quarantined"] == 0
+        assert backend.get(keep) is not None
+
+    def test_clear_removes_everything(self, backend):
+        for i in range(4):
+            backend.put(spec_n(i), EMPTY_STATS)
+        assert backend.clear() >= 4
+        assert backend.stats()["entries"] == 0
+        assert all(backend.get(spec_n(i)) is None for i in range(4))
+
+    def test_evict_by_age(self, backend, tmp_path):
+        old, fresh = spec_n(5), spec_n(6)
+        backend.put(old, EMPTY_STATS)
+        backend.put(fresh, EMPTY_STATS)
+        past = time.time() - 10_000
+        for path in entry_files(tmp_path, old):
+            os.utime(path, (past, past))
+        evicted = backend.evict(max_age=1_000)
+        assert evicted >= 1
+        assert backend.get(old) is None
+        assert backend.get(fresh) is not None
+        assert backend.counters.evictions >= 1
+
+    def test_evict_by_size_sheds_coldest_first(self, backend, tmp_path):
+        for i in range(6):
+            backend.put(spec_n(i), EMPTY_STATS)
+        coldest = spec_n(0)
+        past = time.time() - 10_000
+        for path in entry_files(tmp_path, coldest):
+            os.utime(path, (past, past))
+        assert backend.evict(max_bytes=0) >= 6
+        assert backend.stats()["entries"] == 0
+
+    def test_evict_without_bounds_is_noop(self, backend):
+        backend.put(spec_n(7), EMPTY_STATS)
+        assert backend.evict() == 0
+        assert backend.get(spec_n(7)) is not None
+
+    def test_stats_occupancy(self, backend):
+        for i in range(3):
+            backend.put(spec_n(i), EMPTY_STATS)
+        info = backend.stats()
+        assert info["kind"] == backend.kind
+        assert info["entries"] == 3
+        assert info["bytes"] > 0
+        assert info["quarantined"] == 0
+
+    def test_concurrent_identical_puts_converge(self, backend):
+        # At-least-once execution means two workers may both write the
+        # same address; the entry must stay valid JSON with the same
+        # stats either way.
+        spec = spec_n(8)
+        backend.put(spec, EMPTY_STATS, wall_time=1.0)
+        backend.put(spec, EMPTY_STATS, wall_time=2.0)
+        entry = backend.get(spec)
+        assert entry["stats"] == EMPTY_STATS
+
+
+class TestShardedBackend:
+    def test_distribution_covers_shards(self, tmp_path):
+        backend = ShardedBackend.create(tmp_path, 4, salt=SALT)
+        specs = [spec_n(i) for i in range(32)]
+        for spec in specs:
+            backend.put(spec, EMPTY_STATS)
+        occupied = {id(backend.shard_for(spec)) for spec in specs}
+        assert len(occupied) > 1, "32 hashes should span several shards"
+        info = backend.stats()
+        assert info["entries"] == 32
+        assert sum(s["entries"] for s in info["shards"]) == 32
+
+    def test_routing_is_deterministic(self, tmp_path):
+        a = ShardedBackend.create(tmp_path / "a", 4, salt=SALT)
+        b = ShardedBackend.create(tmp_path / "b", 4, salt=SALT)
+        for i in range(16):
+            spec = spec_n(i)
+            assert (a.shards.index(a.shard_for(spec))
+                    == b.shards.index(b.shard_for(spec)))
+
+    def test_entry_lands_in_its_shard_only(self, tmp_path):
+        backend = ShardedBackend.create(tmp_path, 4, salt=SALT)
+        spec = spec_n(0)
+        path = backend.put(spec, EMPTY_STATS)
+        home = backend.shard_for(spec)
+        assert str(path).startswith(str(home.root))
+        others = [s for s in backend.shards if s is not home]
+        assert all(s.get(spec) is None for s in others)
+        assert backend.get(spec) is not None
+
+    def test_needs_at_least_one_root(self):
+        with pytest.raises(ValueError):
+            ShardedBackend([])
+
+
+class TestTieredBackend:
+    def make(self, tmp_path):
+        return TieredBackend(
+            LocalDirBackend(root=tmp_path / "local", salt=SALT),
+            LocalDirBackend(root=tmp_path / "shared", salt=SALT))
+
+    def test_write_through_lands_in_both_tiers(self, tmp_path):
+        backend = self.make(tmp_path)
+        spec = spec_n(0)
+        path = backend.put(spec, EMPTY_STATS)
+        # The returned path is the shared (authoritative) copy.
+        assert str(path).startswith(str(tmp_path / "shared"))
+        assert backend.local.get(spec) is not None
+        assert backend.shared.get(spec) is not None
+
+    def test_shared_hit_promotes_to_local(self, tmp_path):
+        backend = self.make(tmp_path)
+        spec = spec_n(1)
+        backend.shared.put(spec, EMPTY_STATS, wall_time=3.0)
+        assert backend.local.get(spec) is None
+        entry = backend.get(spec)
+        assert entry["wall_time"] == 3.0
+        assert backend.counters.promotions == 1
+        assert backend.local.get(spec) is not None
+        # Second read is served without another promotion.
+        backend.get(spec)
+        assert backend.counters.promotions == 1
+
+    def test_snapshot_nests_tier_counters(self, tmp_path):
+        backend = self.make(tmp_path)
+        backend.put(spec_n(2), EMPTY_STATS)
+        snap = backend.counters_snapshot()
+        assert snap["kind"] == "tiered"
+        assert snap["local"]["kind"] == "local"
+        assert snap["shared"]["kind"] == "local"
+        assert snap["local"]["puts"] == 1
+        assert snap["shared"]["puts"] == 1
+
+
+class TestBackendFor:
+    def test_flat_by_default(self, tmp_path):
+        backend = backend_for(tmp_path / "svc")
+        assert backend.kind == "local"
+        assert str(backend.root) == str(tmp_path / "svc" / "cache")
+
+    def test_sharded_when_asked(self, tmp_path):
+        backend = backend_for(tmp_path / "svc", shards=3)
+        assert backend.kind == "sharded"
+        assert len(backend.shards) == 3
+
+    def test_tiered_wraps_either(self, tmp_path):
+        backend = backend_for(tmp_path / "svc", shards=2,
+                              local_tier=tmp_path / "fast")
+        assert backend.kind == "tiered"
+        assert backend.shared.kind == "sharded"
+        assert str(backend.local.root) == str(tmp_path / "fast")
+
+    def test_shared_root_interoperates(self, tmp_path):
+        # Two hosts: one flat view, one tiered view of the same root.
+        writer = backend_for(tmp_path / "svc")
+        reader = backend_for(tmp_path / "svc",
+                             local_tier=tmp_path / "host2")
+        spec = spec_n(0)
+        writer.put(spec, EMPTY_STATS)
+        assert reader.get(spec)["stats"] == EMPTY_STATS
