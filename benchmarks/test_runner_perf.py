@@ -11,11 +11,18 @@ land in ``BENCH_runner.json`` at the repository root:
 * for the service batch — batch wall time, the shared backend's
   hit/miss/put counters, and the dedupe-heavy re-run's hit rate.
 
+Each run also appends one record to the append-only perf-regression
+ledger ``BENCH_history.jsonl`` (see :mod:`repro.obs.regress`), so the
+benchmark suite feeds the same trajectory that ``repro bench record`` /
+``compare`` maintain.
+
 Timings are host-dependent; the asserted facts (results cached, hit
 rates, exactly-one-execution) are not.
 """
 
 import json
+import platform
+import sys
 import time
 from pathlib import Path
 
@@ -28,6 +35,7 @@ from repro.service import ServiceConfig
 from repro.workloads import PAPER_ORDER
 
 BENCH_DOC = Path(__file__).resolve().parents[1] / "BENCH_runner.json"
+BENCH_LEDGER = Path(__file__).resolve().parents[1] / "BENCH_history.jsonl"
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +51,36 @@ def perf_doc():
         BENCH_DOC.write_text(
             json.dumps(doc, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")
+        _append_ledger_record(doc)
+
+
+def _append_ledger_record(doc):
+    """One ledger record per benchmark session (k=1: the cold runs)."""
+    from repro.obs import regress
+    record = {
+        "schema": regress.LEDGER_SCHEMA,
+        "created": time.time(),
+        "label": "benchmarks/test_runner_perf.py",
+        "host": platform.node(),
+        "python": sys.version.split()[0],
+        "scale": doc["scale"],
+        "model": "inorder",
+        "variant": doc["variant"],
+        "k": 1,
+        "inject_slowdown": 1.0,
+        "workloads": {
+            name: {
+                "cycles": row["cycles"],
+                "wall": [row["sim_wall_time"]],
+                "wall_median": row["sim_wall_time"],
+                "wall_mad": 0.0,
+                "cps_median": row["cycles_per_sec"],
+                "cps_mad": 0.0,
+            }
+            for name, row in doc["workloads"].items()
+        },
+    }
+    regress.append_record(record, BENCH_LEDGER)
 
 
 @pytest.mark.parametrize("workload", PAPER_ORDER)

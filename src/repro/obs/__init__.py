@@ -30,6 +30,7 @@ from .export import (
     TOOL_PID,
     chrome_trace_events,
     jsonl_records,
+    profiler_counter_events,
     write_chrome_trace,
     write_jsonl,
 )
@@ -39,13 +40,28 @@ from .metrics import (
     delinquent_rows,
     slice_rows,
 )
+from .profiler import (
+    CycleProfiler,
+    DEFAULT_INTERVAL,
+    profile_run,
+    render_profile,
+)
+from .fleet import (
+    FLEET_SCHEMA,
+    collect_fleet,
+    fleet_summary_lines,
+    render_fleet,
+)
 from .report import render_report
 
 __all__ = [
     "Counter", "Histogram", "NullTracer", "NULL_TRACER", "Span", "Tracer",
     "ensure_tracer",
     "JSONL_SCHEMA", "SIM_PID", "TOOL_PID", "chrome_trace_events",
-    "jsonl_records", "write_chrome_trace", "write_jsonl",
+    "jsonl_records", "profiler_counter_events", "write_chrome_trace",
+    "write_jsonl",
     "METRICS_SCHEMA", "collect_metrics", "delinquent_rows", "slice_rows",
+    "CycleProfiler", "DEFAULT_INTERVAL", "profile_run", "render_profile",
+    "FLEET_SCHEMA", "collect_fleet", "fleet_summary_lines", "render_fleet",
     "render_report",
 ]

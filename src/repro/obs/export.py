@@ -70,7 +70,37 @@ def _metadata(pid: int, tid: int, kind: str, name: str) -> Dict[str, Any]:
             "args": {"name": name}}
 
 
-def chrome_trace_events(tracer=None, context_trace=None
+def profiler_counter_events(profiler) -> List[Dict[str, Any]]:
+    """Perfetto counter tracks from a cycle-attribution profiler.
+
+    Two counters on the simulator process timeline (1 cycle = 1 µs):
+    host simulation throughput (cycles/second of wall time) and the
+    main-vs-speculative instruction ticks of each sampling window.
+    ``profiler`` is a live :class:`~repro.obs.profiler.CycleProfiler`
+    or its ``to_dict()`` document.
+    """
+    if profiler is None:
+        return []
+    doc = profiler if isinstance(profiler, dict) else profiler.to_dict()
+    events: List[Dict[str, Any]] = []
+    for point in doc.get("track", []):
+        ts = float(point["cycle"])
+        events.append({
+            "ph": "C", "name": "sim throughput", "cat": "profiler",
+            "pid": SIM_PID, "tid": 0, "ts": ts,
+            "args": {"cycles_per_sec":
+                     round(point["cycles_per_sec"], 1)},
+        })
+        events.append({
+            "ph": "C", "name": "instruction ticks", "cat": "profiler",
+            "pid": SIM_PID, "tid": 0, "ts": ts,
+            "args": {"main": point["main_ticks"],
+                     "spec": point["spec_ticks"]},
+        })
+    return events
+
+
+def chrome_trace_events(tracer=None, context_trace=None, profiler=None
                         ) -> List[Dict[str, Any]]:
     """Chrome trace-event list for one observed run."""
     events: List[Dict[str, Any]] = []
@@ -118,6 +148,15 @@ def chrome_trace_events(tracer=None, context_trace=None
                 "pid": SIM_PID, "tid": int(args.get("slot", 0)),
                 "ts": float(cycle), "args": dict(args),
             })
+
+    if profiler is not None:
+        counter_events = profiler_counter_events(profiler)
+        if counter_events and context_trace is None:
+            # The counters live on the simulator timeline; name the
+            # process when no context trace already did.
+            events.append(_metadata(SIM_PID, 0, "process_name",
+                                    "simulator (1 cycle = 1us)"))
+        events.extend(counter_events)
     return events
 
 

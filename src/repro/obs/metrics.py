@@ -62,14 +62,18 @@ def collect_metrics(workload: str, scale: str, model: str,
                     profile=None, tool_result=None, stats=None,
                     baseline_cycles: Optional[int] = None,
                     tracer=None, telemetry=None,
-                    resilience: Optional[Dict[str, Any]] = None
+                    resilience: Optional[Dict[str, Any]] = None,
+                    profiler=None,
+                    fleet: Optional[Dict[str, Any]] = None
                     ) -> Dict[str, Any]:
     """Assemble the observability metrics document for one run.
 
     ``resilience`` is the per-run supervisor metadata from
     ``RunResult.metrics["resilience"]`` (ladder step, watchdog kills,
     checkpoint/resume counts); aggregate resilience counters arrive via
-    ``telemetry`` under ``doc["runner"]["resilience"]``.
+    ``telemetry`` under ``doc["runner"]["resilience"]``.  ``profiler``
+    is a :class:`~repro.obs.profiler.CycleProfiler` (or its document)
+    and ``fleet`` a :func:`repro.obs.fleet.collect_fleet` document.
     """
     doc: Dict[str, Any] = {
         "schema": METRICS_SCHEMA,
@@ -124,4 +128,9 @@ def collect_metrics(workload: str, scale: str, model: str,
         doc["runner"] = telemetry.snapshot()
     if resilience is not None:
         doc["resilience"] = dict(resilience)
+    if profiler is not None:
+        doc["profiler"] = (dict(profiler) if isinstance(profiler, dict)
+                           else profiler.to_dict())
+    if fleet is not None:
+        doc["fleet"] = dict(fleet)
     return doc

@@ -1,0 +1,279 @@
+"""Low-overhead cycle-attribution profiler for the simulator run loops.
+
+ROADMAP item 1 asks for an order-of-magnitude simulator speedup
+"profiled and measured" — this module is the *measured* half: it answers
+where a simulated cycle's host wall-time actually goes, per run-loop
+phase, before anyone starts rewriting the loop.
+
+Design: sampling, not tracing.  A simulator with an attached
+:class:`CycleProfiler` keeps a ``_prof_next`` cycle mark; the run loop's
+only unconditional cost is one integer compare per iteration
+(``now >= self._prof_next``, against a far-future sentinel when no
+profiler is attached).  On a *sampled* iteration the loop takes
+``perf_counter`` laps at its phase boundaries (reap/select/issue/account
+for the in-order model; fetch/schedule/interp/timing/account for the
+OOO model), classifies the cycle (main-productive, spec-only, stalled),
+and pulls instruction-count deltas from :class:`~repro.sim.stats.SimStats`
+to attribute main-thread vs. speculative-context ticks.  The profiler
+never touches simulator state, so profiled and unprofiled runs produce
+byte-identical statistics.
+
+Outputs: per-phase wall-time histograms (µs per sampled iteration), a
+"top wall-time sinks" table (:meth:`CycleProfiler.render`), a JSON-safe
+document (:meth:`CycleProfiler.to_dict`) embedded in metrics documents,
+and Perfetto counter tracks (throughput, main vs. spec ticks) emitted by
+:func:`repro.obs.export.profiler_counter_events` alongside the existing
+Chrome-trace export.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .tracer import Histogram
+
+#: Cycles between samples.  At the default, a million-cycle simulation
+#: takes ~250 samples — enough for stable phase attribution at well
+#: under 1% wall-time overhead.
+DEFAULT_INTERVAL = 4096
+
+#: ``_prof_next`` sentinel installed when no profiler is attached: the
+#: per-iteration gate ``now >= _prof_next`` is then one always-false
+#: integer compare.
+FAR_FUTURE = 1 << 60
+
+
+class CycleProfiler:
+    """Sampling wall-time attributor for one simulator run.
+
+    Attach with ``simulator.attach_profiler(profiler)`` before
+    ``run()``.  One profiler instance belongs to one run; attach a fresh
+    one per simulation.
+    """
+
+    def __init__(self, interval: int = DEFAULT_INTERVAL,
+                 clock: Callable[[], float] = time.perf_counter):
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = int(interval)
+        self.clock = clock
+        #: Machine model name, stamped by ``attach_profiler``.
+        self.model: Optional[str] = None
+        self.samples = 0
+        self.started_wall: Optional[float] = None
+        self.finished_wall: Optional[float] = None
+        self.start_cycle: Optional[int] = None
+        self.last_cycle: Optional[int] = None
+        self._last_wall: Optional[float] = None
+        self._last_main_instr = 0
+        self._last_spec_instr = 0
+        #: phase -> accumulated seconds across sampled iterations.
+        self.phase_wall: Dict[str, float] = {}
+        #: phase -> Histogram of µs spent in that phase per sample.
+        self.phase_hist: Dict[str, Histogram] = {}
+        #: Sampled-cycle classification counts.
+        self.cycle_kinds: Dict[str, int] = {
+            "main_issue": 0, "spec_only": 0, "stall": 0}
+        #: Instruction ticks attributed between consecutive samples.
+        self.ticks: Dict[str, int] = {"main": 0, "spec": 0}
+        #: Counter-track points for Perfetto export.
+        self.track: List[Dict[str, Any]] = []
+
+    # -- hot-path hooks (called from the simulator run loops) ------------------------
+
+    def begin(self, cycle: int) -> float:
+        """Open a sampled iteration; returns the lap timestamp."""
+        t = self.clock()
+        if self.started_wall is None:
+            self.started_wall = t
+            self.start_cycle = cycle
+        return t
+
+    def lap(self, phase: str, t0: float) -> float:
+        """Charge wall-time since ``t0`` to ``phase``; returns now."""
+        t1 = self.clock()
+        dt = t1 - t0
+        self.phase_wall[phase] = self.phase_wall.get(phase, 0.0) + dt
+        hist = self.phase_hist.get(phase)
+        if hist is None:
+            hist = self.phase_hist[phase] = Histogram(phase)
+        hist.observe(dt * 1e6)
+        return t1
+
+    def sample(self, cycle: int, stats, issued_main: int,
+               stalled: bool) -> int:
+        """Close a sampled iteration; returns the next sample cycle.
+
+        ``stats`` is the live :class:`~repro.sim.stats.SimStats`; only
+        its instruction counters are *read* — nothing is written back.
+        """
+        t = self.clock()
+        self.finished_wall = t
+        self.samples += 1
+        if stalled:
+            self.cycle_kinds["stall"] += 1
+        elif issued_main:
+            self.cycle_kinds["main_issue"] += 1
+        else:
+            self.cycle_kinds["spec_only"] += 1
+        main_instr = stats.main_instructions
+        spec_instr = stats.spec_instructions
+        d_main = main_instr - self._last_main_instr
+        d_spec = spec_instr - self._last_spec_instr
+        self.ticks["main"] += d_main
+        self.ticks["spec"] += d_spec
+        if self.last_cycle is not None and t > self._last_wall:
+            d_cycles = cycle - self.last_cycle
+            if d_cycles > 0:
+                self.track.append({
+                    "cycle": cycle,
+                    "wall": t - self.started_wall,
+                    "cycles_per_sec": d_cycles / (t - self._last_wall),
+                    "main_ticks": d_main,
+                    "spec_ticks": d_spec,
+                })
+        self.last_cycle = cycle
+        self._last_wall = t
+        self._last_main_instr = main_instr
+        self._last_spec_instr = spec_instr
+        return cycle + self.interval
+
+    # -- reporting -------------------------------------------------------------------
+
+    @property
+    def sampled_wall_time(self) -> float:
+        """Seconds spent inside sampled iterations (sum of all phases)."""
+        return sum(self.phase_wall.values())
+
+    @property
+    def wall_time(self) -> float:
+        """Seconds from the first to the last sample."""
+        if self.started_wall is None or self.finished_wall is None:
+            return 0.0
+        return self.finished_wall - self.started_wall
+
+    @property
+    def cycles_covered(self) -> int:
+        if self.start_cycle is None or self.last_cycle is None:
+            return 0
+        return self.last_cycle - self.start_cycle
+
+    @property
+    def cycles_per_sec(self) -> float:
+        wall = self.wall_time
+        return self.cycles_covered / wall if wall > 0 else 0.0
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Each phase's share of the sampled wall-time (sums to 1)."""
+        total = self.sampled_wall_time
+        if total <= 0:
+            return {}
+        return {phase: wall / total
+                for phase, wall in sorted(self.phase_wall.items())}
+
+    def top_sinks(self) -> List[Tuple[str, float, float, float]]:
+        """(phase, wall share, mean µs/sample, p90 µs/sample), worst first."""
+        fractions = self.phase_fractions()
+        rows = []
+        for phase, share in fractions.items():
+            summary = self.phase_hist[phase].summary()
+            rows.append((phase, share, summary["mean"], summary["p90"]))
+        rows.sort(key=lambda row: row[1], reverse=True)
+        return rows
+
+    def to_dict(self, max_track_points: int = 2048) -> Dict[str, Any]:
+        """JSON-safe profile document (embedded in metrics documents)."""
+        track = self.track
+        if len(track) > max_track_points:
+            stride = -(-len(track) // max_track_points)
+            track = track[::stride]
+        return {
+            "model": self.model,
+            "interval": self.interval,
+            "samples": self.samples,
+            "cycles_covered": self.cycles_covered,
+            "wall_time": self.wall_time,
+            "cycles_per_sec": self.cycles_per_sec,
+            "sampled_wall_time": self.sampled_wall_time,
+            "phase_fractions": self.phase_fractions(),
+            "phases": {phase: hist.summary()
+                       for phase, hist in sorted(self.phase_hist.items())},
+            "cycle_kinds": dict(self.cycle_kinds),
+            "ticks": dict(self.ticks),
+            "track": [dict(point) for point in track],
+        }
+
+    def render(self) -> str:
+        """The "top wall-time sinks" table as printable text."""
+        return render_profile(self.to_dict())
+
+
+def render_profile(doc: Dict[str, Any]) -> str:
+    """Render a profile document (live or from JSON) as text."""
+    lines = []
+    model = doc.get("model") or "?"
+    samples = doc.get("samples", 0)
+    interval = doc.get("interval", 0)
+    lines.append(f"cycle profile [{model}]: {samples} samples "
+                 f"every {interval} cycles, "
+                 f"{doc.get('cycles_covered', 0)} cycles in "
+                 f"{doc.get('wall_time', 0.0):.3f}s "
+                 f"({doc.get('cycles_per_sec', 0.0):,.0f} cyc/s)")
+    fractions = doc.get("phase_fractions") or {}
+    phases = doc.get("phases") or {}
+    if fractions:
+        lines.append("top wall-time sinks:")
+        header = f"  {'phase':<12} {'share':>7} {'mean us':>9} {'p90 us':>9}"
+        lines.append(header)
+        rows = sorted(fractions.items(), key=lambda kv: kv[1], reverse=True)
+        for phase, share in rows:
+            summary = phases.get(phase) or {}
+            lines.append(f"  {phase:<12} {100 * share:>6.1f}% "
+                         f"{summary.get('mean', 0.0):>9.2f} "
+                         f"{summary.get('p90', 0.0):>9.2f}")
+    kinds = doc.get("cycle_kinds") or {}
+    if samples:
+        lines.append("sampled cycles: "
+                     + ", ".join(f"{100 * kinds.get(k, 0) / samples:.0f}% "
+                                 f"{label}"
+                                 for k, label in (("main_issue", "main-"
+                                                   "productive"),
+                                                  ("spec_only", "spec-only"),
+                                                  ("stall", "stalled"))))
+    ticks = doc.get("ticks") or {}
+    total_ticks = ticks.get("main", 0) + ticks.get("spec", 0)
+    if total_ticks:
+        lines.append(f"instruction ticks: {ticks.get('main', 0)} main, "
+                     f"{ticks.get('spec', 0)} spec "
+                     f"({100 * ticks.get('spec', 0) / total_ticks:.0f}% "
+                     f"speculative)")
+    return "\n".join(lines)
+
+
+def profile_run(workload: str, scale: str = "small",
+                model: str = "inorder", variant: str = "ssp",
+                interval: int = DEFAULT_INTERVAL) -> Tuple[Any, CycleProfiler]:
+    """Run one workload in-process with a profiler attached.
+
+    Returns ``(SimStats, CycleProfiler)``.  Convenience entry point for
+    tests and ad-hoc "where does the time go" sessions; the CLI's
+    ``--profile`` flag wires the same machinery into a full adapt+report
+    run.
+    """
+    # Imported lazily: repro.runner imports repro.obs at module load.
+    from ..runner.spec import RunSpec
+    from ..runner.worker import artifacts_for, config_for
+    from ..sim.machine import make_simulator
+
+    spec = RunSpec.create(workload, scale=scale, model=model,
+                          variant=variant)
+    artifacts = artifacts_for(spec)
+    program, heap_workload = artifacts.run_inputs(spec.variant)
+    sim = make_simulator(program, heap_workload.build_heap(), spec.model,
+                         config=config_for(spec, artifacts),
+                         spawning=spec.effective_spawning)
+    profiler = CycleProfiler(interval=interval)
+    sim.attach_profiler(profiler)
+    stats = sim.run()
+    return stats, profiler

@@ -2,13 +2,18 @@
 
 Turns the dict produced by :func:`repro.obs.metrics.collect_metrics` into
 the per-workload observability report: pass spans with wall times and key
-metrics, the Table 2 slice rows, and per-delinquent-load prefetch
-coverage / accuracy / timeliness.
+metrics, the Table 2 slice rows, per-delinquent-load prefetch
+coverage / accuracy / timeliness, the cycle-attribution profile, and the
+service-fleet summary.  Documents are rendered defensively: any section
+may be missing, empty, or partial (older schema versions, zero-run
+telemetry) and still produce a report instead of a crash.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List
+
+from .profiler import render_profile
 
 
 def _fmt_metric(value: Any) -> str:
@@ -40,8 +45,9 @@ def render_report(metrics: Dict[str, Any]) -> str:
 
     profile = metrics.get("profile")
     if profile:
-        lines.append(f"baseline cycles: {profile['baseline_cycles']}  "
-                     f"total miss cycles: {profile['total_miss_cycles']}")
+        lines.append(
+            f"baseline cycles: {profile.get('baseline_cycles', '-')}  "
+            f"total miss cycles: {profile.get('total_miss_cycles', '-')}")
 
     passes = metrics.get("passes")
     if passes:
@@ -96,26 +102,27 @@ def render_report(metrics: Dict[str, Any]) -> str:
     guard = metrics.get("guard")
     if guard and (guard.get("degraded") or guard.get("diagnostics")):
         lines.append("")
-        lines.append(f"guard: adapted={guard['adapted_loads']} "
-                     f"skipped={guard['skipped_loads']} "
-                     f"failed={guard['failed_loads']}"
+        lines.append(f"guard: adapted={guard.get('adapted_loads', 0)} "
+                     f"skipped={guard.get('skipped_loads', 0)} "
+                     f"failed={guard.get('failed_loads', 0)}"
                      + (f"  rollbacks={len(guard['rollbacks'])}"
                         if guard.get("rollbacks") else ""))
         for diag in guard.get("diagnostics", []):
             where = diag.get("function") or "-"
-            lines.append(f"  [{diag['severity']}] {diag['stage']} "
-                         f"({where}): {diag['message']}")
+            lines.append(f"  [{diag.get('severity', '?')}] "
+                         f"{diag.get('stage', '?')} "
+                         f"({where}): {diag.get('message', '')}")
 
     sim = metrics.get("sim")
     if sim:
         lines.append("")
-        parts = [f"cycles={sim['cycles']}"]
+        parts = [f"cycles={sim.get('cycles', 0)}"]
         if "speedup" in sim:
             parts.append(f"speedup={sim['speedup']:.2f}x")
-        parts.append(f"spawns={sim['spawns']}")
-        parts.append(f"chk fired/ignored={sim['chk_fired']}/"
-                     f"{sim['chk_ignored']}")
-        parts.append(f"prefetches={sim['prefetches_issued']}")
+        parts.append(f"spawns={sim.get('spawns', 0)}")
+        parts.append(f"chk fired/ignored={sim.get('chk_fired', 0)}/"
+                     f"{sim.get('chk_ignored', 0)}")
+        parts.append(f"prefetches={sim.get('prefetches_issued', 0)}")
         lines.append("simulation: " + "  ".join(parts))
         breakdown = sim.get("cycle_breakdown")
         if breakdown:
@@ -127,15 +134,15 @@ def render_report(metrics: Dict[str, Any]) -> str:
     runner = metrics.get("runner")
     if runner:
         lines.append("")
-        line = (f"runner: {runner['launched']} simulated, "
-                f"{runner['cache_hits']} cached "
-                f"({100 * runner['hit_rate']:.0f}% hit rate), ")
+        line = (f"runner: {runner.get('launched', 0)} simulated, "
+                f"{runner.get('cache_hits', 0)} cached "
+                f"({100 * runner.get('hit_rate', 0.0):.0f}% hit rate), ")
         # Older metrics documents predate service mode; .get throughout.
         if runner.get("dedupe_hits"):
             line += (f"{runner['dedupe_hits']} deduped by other "
                      f"workers, ")
-        line += (f"sim wall {runner['sim_wall_time']:.2f}s "
-                 f"(saved {runner['saved_wall_time']:.2f}s)")
+        line += (f"sim wall {runner.get('sim_wall_time', 0.0):.2f}s "
+                 f"(saved {runner.get('saved_wall_time', 0.0):.2f}s)")
         lines.append(line)
         backend = runner.get("cache_backend")
         if backend:
@@ -151,12 +158,12 @@ def render_report(metrics: Dict[str, Any]) -> str:
         if resilience and any(resilience.values()):
             lines.append(
                 "resilience: "
-                f"checkpoints={resilience['checkpoints']} "
-                f"resumes={resilience['resumes']} "
-                f"watchdog kills={resilience['watchdog_kills']} "
-                f"breaker trips={resilience['circuit_trips']} "
-                f"degraded={resilience['degraded_runs']} "
-                f"skipped={resilience['skips']}")
+                f"checkpoints={resilience.get('checkpoints', 0)} "
+                f"resumes={resilience.get('resumes', 0)} "
+                f"watchdog kills={resilience.get('watchdog_kills', 0)} "
+                f"breaker trips={resilience.get('circuit_trips', 0)} "
+                f"degraded={resilience.get('degraded_runs', 0)} "
+                f"skipped={resilience.get('skips', 0)}")
 
     run_meta = metrics.get("resilience")
     if run_meta:
@@ -172,4 +179,15 @@ def render_report(metrics: Dict[str, Any]) -> str:
             parts.append(
                 f"resumed from cycle {run_meta['resumed_from_cycle']}")
         lines.append("run resilience: " + "  ".join(parts))
+
+    profiler = metrics.get("profiler")
+    if profiler:
+        lines.append("")
+        lines.append(render_profile(profiler))
+
+    fleet = metrics.get("fleet")
+    if fleet:
+        from .fleet import fleet_summary_lines
+        lines.append("")
+        lines.extend(fleet_summary_lines(fleet))
     return "\n".join(lines)

@@ -38,40 +38,53 @@ class Counter:
 
 
 class Histogram:
-    """A named value distribution with summary statistics."""
+    """A named value distribution with summary statistics.
 
-    __slots__ = ("name", "_values")
+    The sorted view backing :meth:`percentile` is cached and invalidated
+    by :meth:`observe`, so rendering a report (which asks for several
+    percentiles per histogram) sorts each distribution at most once.
+    """
+
+    __slots__ = ("name", "_values", "_sorted")
 
     def __init__(self, name: str):
         self.name = name
         self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         self._values.append(float(value))
+        self._sorted = None
 
     @property
     def count(self) -> int:
         return len(self._values)
 
+    def _ordered(self) -> List[float]:
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._values)
+        return ordered
+
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile (``p`` in [0, 100]); 0.0 when empty."""
         if not self._values:
             return 0.0
-        ordered = sorted(self._values)
+        ordered = self._ordered()
         rank = max(0, min(len(ordered) - 1,
                           int(round(p / 100.0 * (len(ordered) - 1)))))
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
-        values = self._values
-        if not values:
+        if not self._values:
             return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
                     "p50": 0.0, "p90": 0.0}
+        ordered = self._ordered()
         return {
-            "count": len(values),
-            "min": min(values),
-            "max": max(values),
-            "mean": sum(values) / len(values),
+            "count": len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": sum(ordered) / len(ordered),
             "p50": self.percentile(50),
             "p90": self.percentile(90),
         }

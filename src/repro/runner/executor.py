@@ -179,7 +179,8 @@ class Runner:
         if self.cache is not None and hasattr(self.cache,
                                               "counters_snapshot"):
             self.telemetry.record_backend_stats(
-                self.cache.counters_snapshot())
+                self.cache.counters_snapshot(),
+                backend_id=f"{type(self.cache).__name__}:{id(self.cache)}")
         return [by_hash[digest] for digest in order]
 
     # -- cache -----------------------------------------------------------------------

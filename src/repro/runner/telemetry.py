@@ -34,9 +34,9 @@ class RunnerTelemetry:
         self.skips = 0             # specs skipped with a diagnostic
         self.resumes = 0           # runs resumed from a checkpoint
         self.checkpoints = 0       # checkpoint files written
-        #: Hit/miss/put/evict counters of the cache backend the runner
-        #: used, attached after each batch (service mode and plain runs).
-        self.backend_stats: Optional[Dict] = None
+        #: Latest counter snapshot per cache backend the session touched,
+        #: keyed by backend identity (see :meth:`record_backend_stats`).
+        self._backend_stats: Dict[str, Dict] = {}
         self.records: List[Dict] = []
 
     # -- event sinks -----------------------------------------------------------------
@@ -84,11 +84,42 @@ class RunnerTelemetry:
                              "wall_time": 0.0, "attempts": 0})
         self._emit(f"dupe {label} (completed by another worker)")
 
-    def record_backend_stats(self, stats: Optional[Dict]) -> None:
-        """Attach the latest backend counter snapshot (overwrites: the
-        backend's counters are already cumulative)."""
+    def record_backend_stats(self, stats: Optional[Dict],
+                             backend_id: Optional[str] = None) -> None:
+        """Attach a backend counter snapshot.
+
+        A backend's own counters are cumulative, so repeated snapshots
+        from the *same* backend replace each other — but a telemetry
+        instance shared across several ``Runner``s (or a runner whose
+        cache was swapped between batches) sees more than one backend.
+        Snapshots are therefore keyed by ``backend_id`` and *summed*
+        across backends in :attr:`backend_stats`, so a session summary
+        never silently reports only the last batch's backend activity.
+        """
         if stats is not None:
-            self.backend_stats = dict(stats)
+            self._backend_stats[backend_id or "default"] = dict(stats)
+
+    @property
+    def backend_stats(self) -> Optional[Dict]:
+        """Counters merged across every backend seen this session."""
+        snapshots = list(self._backend_stats.values())
+        if not snapshots:
+            return None
+        if len(snapshots) == 1:
+            return dict(snapshots[0])
+        merged: Dict = {}
+        for snap in snapshots:
+            for key, value in snap.items():
+                if isinstance(value, bool) or not isinstance(value,
+                                                             (int, float)):
+                    if key in merged and merged[key] != value:
+                        merged[key] = "mixed"
+                    else:
+                        merged.setdefault(key, value)
+                else:
+                    merged[key] = merged.get(key, 0) + value
+        merged["backends"] = len(snapshots)
+        return merged
 
     def record_failure(self, label: str, error: str,
                        attempts: int) -> None:

@@ -115,6 +115,24 @@ class InOrderSimulator:
         # of re-initialising the main context).
         self._now = 0
         self._started = False
+        # Cycle-attribution profiler (repro.obs.profiler).  With no
+        # profiler attached, ``_prof_next`` is a far-future sentinel and
+        # the run loop's profiling gate is one always-false int compare.
+        self._profiler = None
+        self._prof_next = _FAR_FUTURE
+
+    def attach_profiler(self, profiler) -> None:
+        """Sample wall-time attribution into ``profiler`` during run().
+
+        Profiling is observation-only: it never touches simulator state,
+        so a profiled run produces byte-identical statistics.  Profiler
+        state is deliberately outside ``_SNAPSHOT_FIELDS`` — checkpoints
+        stay host-independent and a restored simulator is unprofiled
+        unless the restoring process attaches its own profiler.
+        """
+        profiler.model = self.SNAPSHOT_MODEL
+        self._profiler = profiler
+        self._prof_next = self._now
 
     # -- checkpoint/resume ---------------------------------------------------------
 
@@ -479,6 +497,14 @@ class InOrderSimulator:
             if now >= self.max_cycles:
                 raise RuntimeError(
                     f"simulation exceeded {self.max_cycles} cycles")
+            # Profiling gate: one int compare per iteration when off
+            # (``_prof_next`` is the far-future sentinel).  On a sampled
+            # iteration ``prof`` goes non-None and the loop takes wall
+            # laps at its phase boundaries below.
+            prof = None
+            if now >= self._prof_next:
+                prof = self._profiler
+                t_prof = prof.begin(now)
 
             # Reap finished speculative threads; wake any chain spawner
             # that was parked waiting for a context.
@@ -500,6 +526,8 @@ class InOrderSimulator:
                             if not waiter.state.done:
                                 waiter.wake = now
                         self._context_waiters = []
+            if prof is not None:
+                t_prof = prof.lap("reap", t_prof)
 
             # Select up to two issuable threads: the main thread has fetch
             # priority (speculative threads use *otherwise idle* resources);
@@ -518,6 +546,8 @@ class InOrderSimulator:
                     if len(candidates) == config.max_threads_per_cycle:
                         break
             self._rr = self._rr % (n_ctx - 1) + 1
+            if prof is not None:
+                t_prof = prof.lap("select", t_prof)
 
             issued_main = 0
             if candidates:
@@ -530,8 +560,14 @@ class InOrderSimulator:
                     n = self._issue_thread(ctx, budget, now, res)
                     if ctx is main:
                         issued_main = n
+            if prof is not None:
+                t_prof = prof.lap("issue", t_prof)
 
             stats.charge(self._main_category(main, issued_main, now))
+            if prof is not None:
+                prof.lap("account", t_prof)
+                self._prof_next = prof.sample(now, stats, issued_main,
+                                              not candidates)
             if main.state.done:
                 now += 1
                 break

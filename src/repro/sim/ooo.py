@@ -43,6 +43,9 @@ from .caches import L1, MemorySystem
 from .config import MachineConfig
 from .stats import STALL_CATEGORY, SimStats
 
+#: Sentinel "next profiler sample" cycle when no profiler is attached.
+_FAR_FUTURE = 1 << 60
+
 
 class _OOOThread:
     """Per-thread OOO timing state."""
@@ -106,6 +109,20 @@ class OOOSimulator:
         self._main_misses: List[int] = []
         self._pops = 0
         self._started = False
+        # Cycle-attribution profiler (repro.obs.profiler); see inorder.py.
+        self._profiler = None
+        self._prof_next = _FAR_FUTURE
+
+    def attach_profiler(self, profiler) -> None:
+        """Sample wall-time attribution into ``profiler`` during run().
+
+        Observation-only (statistics are byte-identical with or without
+        it) and deliberately outside ``_SNAPSHOT_FIELDS`` — see
+        :meth:`repro.sim.inorder.InOrderSimulator.attach_profiler`.
+        """
+        profiler.model = self.SNAPSHOT_MODEL
+        self._profiler = profiler
+        self._prof_next = self.cycle if self._started else 0
 
     # -- checkpoint/resume ---------------------------------------------------------
 
@@ -278,6 +295,13 @@ class OOOSimulator:
             self._pops += 1
             if self._pops % 50_000 == 0:
                 self._prune_pools(fetch)
+            # Profiling gate: one int compare per pop when off (see
+            # inorder.py).  Pops that bail out below go unsampled; the
+            # next real fetch group samples instead.
+            prof = None
+            if fetch >= self._prof_next:
+                prof = self._profiler
+                t_prof = prof.begin(fetch)
             state = thread.state
             if (state.tid != 0 and not state.done
                     and config.spec_cycle_budget
@@ -301,6 +325,8 @@ class OOOSimulator:
             fetch = self._take_slot(self._fetch_used, fetch,
                                     config.bundles_per_cycle)
             next_fetch = fetch + 1
+            if prof is not None:
+                t_prof = prof.lap("fetch", t_prof)
             for _ in range(config.bundle_size):
                 instr = code[state.pc]
                 # ROB occupancy: wait for instruction (i - ROB) to retire.
@@ -339,7 +365,11 @@ class OOOSimulator:
                 # executed): counted separately for the retired-instruction
                 # oracle, as in the in-order model.
                 in_stub = is_main and bool(state.rfi_stack)
+                if prof is not None:
+                    t_prof = prof.lap("schedule", t_prof)
                 result = execute(program, self.heap, state, instr, chk_fires)
+                if prof is not None:
+                    t_prof = prof.lap("interp", t_prof)
                 if is_main:
                     stats.main_instructions += 1
                     if in_stub:
@@ -351,6 +381,8 @@ class OOOSimulator:
                     thread, instr, fetch, result.mem_addr, result.executed,
                     is_main)
                 retire = self._retire(thread, completion)
+                if prof is not None:
+                    t_prof = prof.lap("timing", t_prof)
 
                 # Figure 10 accounting (main thread, gap-based).
                 if is_main:
@@ -418,6 +450,10 @@ class OOOSimulator:
                 if state.done:
                     break
 
+            if prof is not None:
+                prof.lap("account", t_prof)
+                self._prof_next = prof.sample(fetch, stats,
+                                              1 if is_main else 0, False)
             if state.done:
                 self._live_threads -= 1
                 if is_main:

@@ -134,9 +134,17 @@ class TracingInOrderSimulator(InOrderSimulator):
 
 def trace_run(program: Program, heap: Heap,
               config: Optional[MachineConfig] = None,
-              spawning: bool = True) -> Tuple[SimStats, ContextTrace]:
-    """Simulate on the in-order model with context tracing."""
+              spawning: bool = True,
+              profiler=None) -> Tuple[SimStats, ContextTrace]:
+    """Simulate on the in-order model with context tracing.
+
+    ``profiler`` optionally attaches a
+    :class:`~repro.obs.profiler.CycleProfiler` so one traced run yields
+    both the context-occupancy trace and the cycle-attribution profile.
+    """
     sim = TracingInOrderSimulator(program, heap,
                                   config or inorder_config(), spawning)
+    if profiler is not None:
+        sim.attach_profiler(profiler)
     stats = sim.run()
     return stats, sim.trace

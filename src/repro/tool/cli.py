@@ -15,6 +15,9 @@ adaptation and its effect::
     ssp-postpass service submit em3d health --variant ssp
     ssp-postpass service worker --idle-exit 5
     ssp-postpass service status BATCH && ssp-postpass service fetch BATCH
+    ssp-postpass service top --watch 2
+    ssp-postpass mcf --profile profile.json --trace out.jsonl
+    ssp-postpass bench record --pin && ssp-postpass bench compare
 
 All simulations go through :mod:`repro.runner`: results are cached under
 ``.repro-cache/`` (disable with ``--no-cache``) and ``--jobs N`` fans each
@@ -25,6 +28,14 @@ log plus a Perfetto-loadable Chrome trace next to it, ``--metrics-json``
 a structured metrics document, ``--gantt`` the ASCII context-occupancy
 chart, and ``--telemetry-json`` the runner's cache/wall-time summary; the
 ``report`` subcommand renders a human-readable observability report.
+``--profile FILE`` attaches the cycle-attribution profiler to the
+simulation (in-process) and writes its phase/stall/tick document to
+FILE; with ``--trace`` the profiler's counter tracks ride along in the
+Perfetto trace.  ``service top`` renders fleet-wide telemetry for a
+service root (``--watch`` refreshes), and ``bench record`` /
+``bench compare`` maintain the append-only ``BENCH_history.jsonl``
+ledger and gate throughput against the pinned ``BENCH_baseline.json``
+(nonzero exit on a statistically significant regression).
 
 Robustness (:mod:`repro.guard`): every run prints a one-line guard
 summary; exit codes distinguish success (0) from tool/simulation failure
@@ -173,8 +184,15 @@ def _adapt_and_report(name: str, scale: str, model: str,
                       show_disassembly: bool, runner: Runner,
                       trace: Optional[str] = None,
                       metrics_json: Optional[str] = None,
-                      gantt: Optional[str] = None) -> int:
+                      gantt: Optional[str] = None,
+                      profile_out: Optional[str] = None,
+                      profile_interval: Optional[int] = None) -> int:
     observing = bool(trace or metrics_json or gantt)
+    profiler = None
+    if profile_out:
+        from ..obs import CycleProfiler, DEFAULT_INTERVAL
+        profiler = CycleProfiler(
+            interval=profile_interval or DEFAULT_INTERVAL)
     tracer = Tracer() if observing else NULL_TRACER
     ssp_spec = RunSpec.create(name, scale=scale, model=model,
                               variant="ssp")
@@ -218,9 +236,19 @@ def _adapt_and_report(name: str, scale: str, model: str,
             from ..sim import trace_run
             with tracer.span("simulate", category="sim") as sp:
                 heap = artifacts.workload.build_heap()
-                stats, context_trace = trace_run(result.program, heap)
+                stats, context_trace = trace_run(result.program, heap,
+                                                 profiler=profiler)
                 artifacts.workload.check_output(heap)
                 sp.set(cycles=stats.cycles, spawns=stats.spawns)
+        elif profiler is not None:
+            # A profiled simulation is in-process by necessity (the
+            # profiler hooks the live run loop), bypassing the runner.
+            from ..sim import make_simulator
+            heap = artifacts.workload.build_heap()
+            sim = make_simulator(result.program, heap, "inorder")
+            sim.attach_profiler(profiler)
+            stats = sim.run()
+            artifacts.workload.check_output(heap)
         else:
             ssp_result = runner.run_one(ssp_spec)
             if not ssp_result.ok:
@@ -234,13 +262,26 @@ def _adapt_and_report(name: str, scale: str, model: str,
     else:
         base_spec = RunSpec.create(name, scale=scale, model=model,
                                    variant="base")
-        ssp_result, base_result = runner.run([ssp_spec, base_spec])
-        if ssp_result.stats is None or base_result.stats is None:
-            print("      simulation failed", file=sys.stderr)
-            return _guard_exit_code(guard, EXIT_FAILURE)
-        stats, base = ssp_result.stats, base_result.stats.cycles
-        resilience_meta = ssp_result.metrics.get("resilience")
-        run_metrics = ssp_result.metrics
+        if profiler is not None:
+            from ..sim import make_simulator
+            heap = artifacts.workload.build_heap()
+            sim = make_simulator(result.program, heap, "ooo")
+            sim.attach_profiler(profiler)
+            stats = sim.run()
+            artifacts.workload.check_output(heap)
+            base_result = runner.run_one(base_spec)
+            if base_result.stats is None:
+                print("      simulation failed", file=sys.stderr)
+                return _guard_exit_code(guard, EXIT_FAILURE)
+            base = base_result.stats.cycles
+        else:
+            ssp_result, base_result = runner.run([ssp_spec, base_spec])
+            if ssp_result.stats is None or base_result.stats is None:
+                print("      simulation failed", file=sys.stderr)
+                return _guard_exit_code(guard, EXIT_FAILURE)
+            stats, base = ssp_result.stats, base_result.stats.cycles
+            resilience_meta = ssp_result.metrics.get("resilience")
+            run_metrics = ssp_result.metrics
     print(f"      {model} baseline: {base} cycles; SSP: {stats.cycles} "
           f"cycles; speedup {base / stats.cycles:.2f}x")
     print(f"      spawns={stats.spawns} chk fired/ignored="
@@ -250,6 +291,12 @@ def _adapt_and_report(name: str, scale: str, model: str,
                                   run_metrics=run_metrics)
 
     print(f"[4/4] done.  [runner] {runner.telemetry.summary()}")
+    if profiler is not None:
+        print()
+        print(profiler.render())
+        with open(profile_out, "w", encoding="utf-8") as fh:
+            json.dump(profiler.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"      profile written to {profile_out}")
     if gantt:
         if context_trace is not None:
             Path(gantt).write_text(context_trace.render_gantt() + "\n",
@@ -263,14 +310,16 @@ def _adapt_and_report(name: str, scale: str, model: str,
         write_jsonl(trace, jsonl_records(tracer, context_trace, meta=meta))
         chrome_path = Path(trace).with_suffix(".chrome.json")
         write_chrome_trace(chrome_path,
-                           chrome_trace_events(tracer, context_trace))
+                           chrome_trace_events(tracer, context_trace,
+                                               profiler=profiler))
         print(f"      trace written to {trace} (JSONL) and "
               f"{chrome_path} (Perfetto/chrome://tracing)")
     if metrics_json:
         metrics = collect_metrics(
             name, scale, model, profile=profile, tool_result=result,
             stats=stats, baseline_cycles=base, tracer=tracer,
-            telemetry=runner.telemetry, resilience=resilience_meta)
+            telemetry=runner.telemetry, resilience=resilience_meta,
+            profiler=profiler)
         with open(metrics_json, "w", encoding="utf-8") as fh:
             json.dump(metrics, fh, indent=2, sort_keys=True)
         print(f"      metrics written to {metrics_json}")
@@ -425,6 +474,16 @@ def _service_command(argv: List[str]) -> int:
                                "then exit (default: exit when starved)")
     _add_service_root_options(p_worker)
 
+    p_top = sub.add_parser(
+        "top", help="fleet-wide telemetry: per-worker throughput, queue "
+                    "depth and lease ages, backend hit rates")
+    p_top.add_argument("--watch", type=float, default=None, metavar="SECS",
+                       help="refresh the screen every SECS seconds until "
+                            "interrupted (default: render once)")
+    p_top.add_argument("--json", action="store_true",
+                       help="print the fleet document as JSON instead")
+    _add_service_root_options(p_top)
+
     p_gc = sub.add_parser(
         "gc", help="prune aged queue records and evict cold entries")
     p_gc.add_argument("--max-age", type=float, default=None,
@@ -504,6 +563,28 @@ def _service_command(argv: List[str]) -> int:
         print(f"summary written to {summary_path}")
         return EXIT_OK
 
+    if args.action == "top":
+        from ..obs import collect_fleet, render_fleet
+
+        def _render_once() -> None:
+            doc = collect_fleet(config=config)
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+            else:
+                print(render_fleet(doc))
+
+        if args.watch:
+            try:
+                while True:
+                    # ANSI clear + home, like watch(1)/top(1).
+                    print("\x1b[2J\x1b[H", end="")
+                    _render_once()
+                    time.sleep(args.watch)
+            except KeyboardInterrupt:
+                return EXIT_OK
+        _render_once()
+        return EXIT_OK
+
     # gc
     queue = config.make_queue()
     backend = config.make_backend()
@@ -516,6 +597,107 @@ def _service_command(argv: List[str]) -> int:
     print(f"queue now: {counts['pending']} pending, {counts['leased']} "
           f"leased, {counts['done']} done, {counts['failed']} failed")
     return EXIT_OK
+
+
+def _bench_command(argv: List[str]) -> int:
+    from ..obs import regress
+
+    parser = argparse.ArgumentParser(
+        prog="ssp-postpass bench",
+        description="Perf-regression ledger: 'record' appends a "
+                    "median-of-K timing record to the append-only "
+                    "BENCH_history.jsonl (and can pin it as the "
+                    "baseline); 'compare' measures again and gates "
+                    "against the pinned baseline, exiting nonzero on a "
+                    "statistically significant throughput regression.")
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    def _common(p) -> None:
+        p.add_argument("workloads", nargs="*",
+                       help="benchmarks to time (default: the seven "
+                            "paper workloads)")
+        p.add_argument("--scale", default="tiny",
+                       choices=("tiny", "small", "default"))
+        p.add_argument("--model", default="inorder",
+                       choices=("inorder", "ooo"))
+        p.add_argument("--k", type=int, default=5, metavar="N",
+                       help="measured runs per workload, after one "
+                            "discarded warm-up (default: 5)")
+        p.add_argument("--label", default="", metavar="TEXT",
+                       help="free-form label stored in the record")
+        p.add_argument("--ledger", default=regress.LEDGER_NAME,
+                       metavar="FILE",
+                       help=f"append-only JSONL ledger (default: "
+                            f"{regress.LEDGER_NAME})")
+        p.add_argument("--baseline", default=regress.BASELINE_NAME,
+                       metavar="FILE",
+                       help=f"pinned baseline file (default: "
+                            f"{regress.BASELINE_NAME})")
+
+    p_record = sub.add_parser(
+        "record", help="time the workloads and append to the ledger")
+    _common(p_record)
+    p_record.add_argument("--pin", action="store_true",
+                          help="also pin this record as the baseline "
+                               "'bench compare' gates against")
+
+    p_compare = sub.add_parser(
+        "compare", help="time the workloads and gate against the "
+                        "pinned baseline (nonzero exit on regression)")
+    _common(p_compare)
+    p_compare.add_argument("--nsigma", type=float,
+                           default=regress.DEFAULT_NSIGMA, metavar="N",
+                           help="noise band width in combined sigmas "
+                                f"(default: {regress.DEFAULT_NSIGMA:g})")
+    p_compare.add_argument("--min-rel", type=float,
+                           default=regress.DEFAULT_MIN_REL, metavar="R",
+                           help="relative drop floor below which nothing "
+                                "regresses (default: "
+                                f"{regress.DEFAULT_MIN_REL:g})")
+    p_compare.add_argument("--inject-slowdown", type=float, default=1.0,
+                           metavar="X",
+                           help="multiply measured wall times by X — "
+                                "self-test knob proving the gate fires "
+                                "(used by CI)")
+    p_compare.add_argument("--no-ledger", action="store_true",
+                           help="do not append this measurement to the "
+                                "ledger (injected self-tests should not "
+                                "pollute the trajectory)")
+
+    args = parser.parse_args(argv)
+    names = args.workloads or list(PAPER_ORDER)
+    inject = getattr(args, "inject_slowdown", 1.0)
+    try:
+        record = regress.measure(
+            names, scale=args.scale, k=args.k, model=args.model,
+            label=args.label, inject_slowdown=inject,
+            progress=lambda line: print(f"  {line}"))
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.action == "record":
+        regress.append_record(record, args.ledger)
+        print(f"recorded {len(names)} workload(s) at {args.scale} scale "
+              f"-> {args.ledger} "
+              f"({len(regress.read_ledger(args.ledger))} record(s))")
+        if args.pin:
+            regress.pin_baseline(record, args.baseline)
+            print(f"baseline pinned -> {args.baseline}")
+        return EXIT_OK
+
+    # compare
+    baseline = regress.load_baseline(args.baseline)
+    if baseline is None:
+        print(f"bench compare: no baseline at {args.baseline}; pin one "
+              f"with 'ssp-postpass bench record --pin'", file=sys.stderr)
+        return EXIT_USAGE
+    if not args.no_ledger and inject == 1.0:
+        regress.append_record(record, args.ledger)
+    result = regress.compare(baseline, record, nsigma=args.nsigma,
+                             min_rel=args.min_rel)
+    print(regress.render_compare(result))
+    return EXIT_OK if result["ok"] else EXIT_FAILURE
 
 
 def _runs_command(argv: List[str]) -> int:
@@ -557,6 +739,10 @@ def _report_command(argv: List[str]) -> int:
     parser.add_argument("--from", dest="from_file", metavar="FILE",
                         help="render a saved --metrics-json document "
                              "instead of running anything")
+    parser.add_argument("--fleet", action="store_true",
+                        help="also aggregate and render the service "
+                             "root's fleet telemetry (workers, queue, "
+                             "backend)")
     args = parser.parse_args(argv)
 
     if args.from_file:
@@ -593,10 +779,14 @@ def _report_command(argv: List[str]) -> int:
             stats = runner.stats(spec)
             baseline = runner.stats(base_spec).cycles
             telemetry = runner.telemetry
+    fleet = None
+    if args.fleet:
+        from ..obs import collect_fleet
+        fleet = collect_fleet()
     metrics = collect_metrics(
         args.workload, args.scale, args.model, profile=profile,
         tool_result=result, stats=stats, baseline_cycles=baseline,
-        tracer=tracer, telemetry=telemetry)
+        tracer=tracer, telemetry=telemetry, fleet=fleet)
     print(render_report(metrics))
     return 0
 
@@ -678,6 +868,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _runs_command(argv[1:])
     if argv and argv[0] == "service":
         return _service_command(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_command(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="ssp-postpass",
@@ -715,6 +907,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--gantt", metavar="FILE",
                         help="write the ASCII context-occupancy chart to "
                              "FILE (inorder model only)")
+    parser.add_argument("--profile", metavar="FILE",
+                        help="attach the cycle-attribution profiler to "
+                             "the simulation (runs it in-process) and "
+                             "write the phase/stall/tick document to "
+                             "FILE; with --trace its counter tracks ride "
+                             "along in the Perfetto trace")
+    parser.add_argument("--profile-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="profiler sampling interval in simulated "
+                             "cycles (default: 4096)")
     parser.add_argument("--telemetry-json", metavar="FILE",
                         help="write the runner's machine-readable "
                              "cache/wall-time summary to FILE")
@@ -771,7 +973,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                      args.disassemble, runner,
                                      trace=args.trace,
                                      metrics_json=args.metrics_json,
-                                     gantt=args.gantt)
+                                     gantt=args.gantt,
+                                     profile_out=args.profile,
+                                     profile_interval=args.profile_interval)
         if args.telemetry_json:
             with open(args.telemetry_json, "w", encoding="utf-8") as fh:
                 json.dump(runner.telemetry.to_dict(), fh, indent=2,

@@ -296,6 +296,115 @@ class TestMetricsAndReport:
         assert "observability report: x" in text
 
 
+class TestReportPartialDocuments:
+    """The renderer must survive any missing, empty or partial section."""
+
+    def test_empty_document(self):
+        assert "observability report" in render_report({})
+
+    def test_profile_without_baseline_cycles(self):
+        text = render_report({"profile": {"total_miss_cycles": 9}})
+        assert "baseline cycles: -" in text
+
+    def test_zero_run_telemetry(self):
+        from repro.runner import RunnerTelemetry
+        doc = {"workload": "x", "runner": RunnerTelemetry().snapshot()}
+        text = render_report(doc)
+        assert "runner: 0 simulated" in text
+        assert "0% hit rate" in text
+
+    def test_runner_section_missing_newer_keys(self):
+        # An old metrics document from before service/resilience mode.
+        doc = {"runner": {"launched": 2, "cache_hits": 1}}
+        text = render_report(doc)
+        assert "runner: 2 simulated" in text
+        assert "resilience" not in text
+
+    def test_guard_section_with_bare_diagnostics(self):
+        doc = {"guard": {"degraded": True,
+                         "diagnostics": [{}]}}  # all keys absent
+        text = render_report(doc)
+        assert "guard: adapted=0 skipped=0 failed=0" in text
+        assert "[?]" in text
+
+    def test_sim_section_with_empty_breakdown(self):
+        doc = {"sim": {"cycles": 10, "cycle_breakdown": {}}}
+        text = render_report(doc)
+        assert "cycles=10" in text
+        assert "cycle breakdown" not in text
+
+    def test_empty_histograms_and_profiler(self):
+        from repro.obs import CycleProfiler
+        doc = {"workload": "x", "histograms": {},
+               "profiler": CycleProfiler().to_dict()}
+        text = render_report(doc)
+        assert "cycle profile" in text
+
+    def test_fleet_section_from_bare_dict(self):
+        text = render_report({"fleet": {"root": "/tmp/x"}})
+        assert "fleet @ /tmp/x" in text
+
+
+class TestHistogramPercentileCache:
+    def test_percentile_cached_between_observes(self):
+        from repro.obs.tracer import Histogram
+        hist = Histogram("h")
+        for v in (5.0, 1.0, 3.0):
+            hist.observe(v)
+        assert hist.percentile(100) == 5.0
+        # Cached: repeated queries reuse one sorted copy.
+        assert hist._sorted is not None
+        assert hist.percentile(0) == 1.0
+
+    def test_observe_invalidates_the_cache(self):
+        from repro.obs.tracer import Histogram
+        hist = Histogram("h")
+        hist.observe(1.0)
+        assert hist.percentile(100) == 1.0
+        hist.observe(10.0)
+        assert hist._sorted is None
+        assert hist.percentile(100) == 10.0
+        summary = hist.summary()
+        assert summary["min"] == 1.0 and summary["max"] == 10.0
+
+
+class TestTelemetryBackendAccumulation:
+    def test_empty_until_recorded(self):
+        from repro.runner import RunnerTelemetry
+        assert RunnerTelemetry().backend_stats is None
+
+    def test_same_backend_keeps_latest_snapshot(self):
+        from repro.runner import RunnerTelemetry
+        telemetry = RunnerTelemetry()
+        telemetry.record_backend_stats({"kind": "local", "hits": 1},
+                                       backend_id="a")
+        telemetry.record_backend_stats({"kind": "local", "hits": 5},
+                                       backend_id="a")
+        # Counters are cumulative per backend: latest snapshot wins.
+        assert telemetry.backend_stats == {"kind": "local", "hits": 5}
+
+    def test_distinct_backends_accumulate_across_batches(self):
+        from repro.runner import RunnerTelemetry
+        telemetry = RunnerTelemetry()
+        telemetry.record_backend_stats(
+            {"kind": "local", "hits": 2, "puts": 1}, backend_id="a")
+        telemetry.record_backend_stats(
+            {"kind": "shared", "hits": 3, "misses": 4}, backend_id="b")
+        merged = telemetry.backend_stats
+        assert merged["hits"] == 5
+        assert merged["puts"] == 1
+        assert merged["misses"] == 4
+        assert merged["kind"] == "mixed"
+        assert merged["backends"] == 2
+
+    def test_snapshot_carries_merged_stats(self):
+        from repro.runner import RunnerTelemetry
+        telemetry = RunnerTelemetry()
+        telemetry.record_backend_stats({"hits": 1}, backend_id="a")
+        telemetry.record_backend_stats({"hits": 2}, backend_id="b")
+        assert telemetry.snapshot()["cache_backend"]["hits"] == 3
+
+
 class TestRunnerMetricsPassthrough:
     def test_ssp_metrics_survive_the_cache(self, tmp_path):
         from repro.runner import ResultCache, Runner, RunSpec
