@@ -9,7 +9,7 @@ defines (Itanium ``ld8``/``st8``).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 
 class MemoryError_(Exception):
@@ -35,7 +35,11 @@ class Heap:
         if size_bytes % WORD:
             raise ValueError("heap size must be a multiple of 8")
         self.size = size_bytes
-        self._words: List[int] = [0] * (size_bytes // WORD)
+        # Sparse storage: word index -> value, zero when absent.  A dense
+        # ``[0] * (size // 8)`` list cost more to allocate than a tiny
+        # workload takes to simulate, and snapshots pickled megabytes of
+        # zeros; workloads only ever touch what they allocate.
+        self._words: Dict[int, int] = {}
         self._brk = HEAP_BASE
 
     def alloc(self, nbytes: int, align: int = WORD) -> int:
@@ -71,7 +75,7 @@ class Heap:
 
     def load(self, addr: int) -> int:
         """Read the 64-bit word at ``addr``."""
-        return self._words[self._index(addr)]
+        return self._words.get(self._index(addr), 0)
 
     def store(self, addr: int, value: int) -> None:
         """Write the 64-bit word at ``addr``."""
@@ -86,15 +90,21 @@ class Heap:
         as one final entry carrying the two word counts.
         """
         out: List[Tuple[int, int, int]] = []
-        n = min(len(self._words), len(other._words))
-        for idx in range(n):
-            if self._words[idx] != other._words[idx]:
-                out.append((idx * WORD, self._words[idx],
-                            other._words[idx]))
+        words_a, words_b = self._words, other._words
+        n = min(self.size, other.size) // WORD
+        touched = set(words_a)
+        touched.update(words_b)
+        for idx in sorted(touched):
+            if idx >= n:
+                continue
+            a = words_a.get(idx, 0)
+            b = words_b.get(idx, 0)
+            if a != b:
+                out.append((idx * WORD, a, b))
                 if len(out) >= limit:
                     return out
-        if len(self._words) != len(other._words):
-            out.append((n * WORD, len(self._words), len(other._words)))
+        if self.size != other.size:
+            out.append((n * WORD, self.size // WORD, other.size // WORD))
         return out
 
     def valid(self, addr: int) -> bool:

@@ -241,6 +241,10 @@ class Program:
                     raise ProgramError(f"call to unknown {instr.target!r}")
                 self.branch_target[idx] = self.function_entry[instr.target]
         self._finalized = True
+        # Invalidate any pre-decoded issue table (repro.isa.decode): the
+        # tool patches instructions in place and re-finalises, and the
+        # decode cache keys on this counter.
+        self._decode_version = getattr(self, "_decode_version", 0) + 1
         return self
 
     @property

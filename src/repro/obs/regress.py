@@ -94,6 +94,7 @@ def measure(workloads: Sequence[str], scale: str = "tiny", k: int = 5,
         cps_median = statistics.median(cps)
         rows[name] = {
             "cycles": cycles,
+            "n": len(walls),
             "wall": [round(w, 5) for w in walls],
             "wall_median": wall_median,
             "wall_mad": wall_mad,
@@ -177,11 +178,24 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
     :data:`MAX_REL_BAND` of the baseline) and the relative floor
     ``min_rel`` to count as a regression.  Symmetric improvements are
     reported but never fail the gate.
+
+    A baseline row with ``cps_median == 0`` is **stale** — it carries no
+    usable throughput signal (a truncated write, a killed measurement,
+    or a hand-edited file), and gating against it would silently wave
+    every slowdown through (``drop / base_cps`` is undefined, so no
+    relative drop could ever clear the threshold).  Stale rows fail the
+    gate: re-pin the baseline.
+
+    The result carries ``median_speedup`` — the median of
+    ``new_cps / base_cps`` across comparable rows — for
+    ``bench compare --assert-speedup``.
     """
     base_rows = baseline.get("workloads") or {}
     new_rows = current.get("workloads") or {}
     rows: List[Dict[str, Any]] = []
     regressions = 0
+    stale = 0
+    ratios: List[float] = []
     for name in sorted(base_rows):
         base = base_rows[name]
         new = new_rows.get(name)
@@ -190,13 +204,23 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
             continue
         base_cps = float(base.get("cps_median") or 0.0)
         new_cps = float(new.get("cps_median") or 0.0)
+        if base_cps <= 0:
+            stale += 1
+            rows.append({
+                "workload": name,
+                "verdict": "stale",
+                "base_cps": base_cps,
+                "new_cps": new_cps,
+                "base_n": int(base.get("n") or 0),
+                "new_n": int(new.get("n") or 0),
+            })
+            continue
         sigma_base = MAD_SIGMA * float(base.get("cps_mad") or 0.0)
         sigma_new = MAD_SIGMA * float(new.get("cps_mad") or 0.0)
         band = nsigma * (sigma_base ** 2 + sigma_new ** 2) ** 0.5
         drop = base_cps - new_cps
-        rel = drop / base_cps if base_cps > 0 else 0.0
-        rel_band = (min(band / base_cps, MAX_REL_BAND)
-                    if base_cps > 0 else 0.0)
+        rel = drop / base_cps
+        rel_band = min(band / base_cps, MAX_REL_BAND)
         threshold = max(min_rel, rel_band)
         if rel > threshold:
             verdict = "regressed"
@@ -205,19 +229,24 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
             verdict = "improved"
         else:
             verdict = "ok"
+        ratios.append(new_cps / base_cps)
         rows.append({
             "workload": name,
             "verdict": verdict,
             "base_cps": base_cps,
             "new_cps": new_cps,
+            "base_n": int(base.get("n") or 0),
+            "new_n": int(new.get("n") or 0),
             "delta_rel": -rel,
             "noise_band": band,
             "rel_band": rel_band,
         })
     extra = sorted(set(new_rows) - set(base_rows))
     return {
-        "ok": regressions == 0,
+        "ok": regressions == 0 and stale == 0,
         "regressions": regressions,
+        "stale": stale,
+        "median_speedup": statistics.median(ratios) if ratios else 0.0,
         "nsigma": nsigma,
         "min_rel": min_rel,
         "rows": rows,
@@ -229,25 +258,41 @@ def render_compare(result: Dict[str, Any]) -> str:
     """The ``bench compare`` verdict table as printable text."""
     lines = []
     header = (f"{'workload':<12} {'verdict':<10} {'base cyc/s':>12} "
-              f"{'new cyc/s':>12} {'delta':>8} {'band':>10}")
+              f"{'new cyc/s':>12} {'n':>5} {'delta':>8} {'band':>10}")
     lines.append(header)
     lines.append("-" * len(header))
     for row in result.get("rows", []):
         if row.get("verdict") == "missing":
             lines.append(f"{row['workload']:<12} {'missing':<10}")
             continue
+        samples = f"{row.get('base_n', 0)}/{row.get('new_n', 0)}"
+        if row.get("verdict") == "stale":
+            lines.append(
+                f"{row['workload']:<12} {'stale':<10} "
+                f"{row['base_cps']:>12,.0f} {row['new_cps']:>12,.0f} "
+                f"{samples:>5}  (baseline has no throughput signal; "
+                f"re-pin it)")
+            continue
         lines.append(
             f"{row['workload']:<12} {row['verdict']:<10} "
             f"{row['base_cps']:>12,.0f} {row['new_cps']:>12,.0f} "
-            f"{100 * row['delta_rel']:>+7.1f}% "
+            f"{samples:>5} {100 * row['delta_rel']:>+7.1f}% "
             f"{row['noise_band']:>10,.0f}")
     if result.get("new_workloads"):
         lines.append("not in baseline: "
                      + ", ".join(result["new_workloads"]))
-    verdict = ("PASS" if result.get("ok")
-               else f"FAIL ({result.get('regressions', 0)} regression(s))")
+    if result.get("ok"):
+        verdict = "PASS"
+    elif result.get("stale"):
+        verdict = (f"FAIL ({result.get('regressions', 0)} regression(s), "
+                   f"{result['stale']} stale baseline row(s))")
+    else:
+        verdict = f"FAIL ({result.get('regressions', 0)} regression(s))"
     lines.append(f"gate: {verdict}  "
                  f"(> {result.get('nsigma', DEFAULT_NSIGMA):g} sigma "
                  f"and > {100 * result.get('min_rel', DEFAULT_MIN_REL):g}% "
                  f"drop)")
+    if result.get("median_speedup"):
+        lines.append(f"median throughput ratio vs baseline: "
+                     f"{result['median_speedup']:.2f}x")
     return "\n".join(lines)

@@ -55,36 +55,46 @@ class CacheLevel:
         self.num_sets = cfg.num_sets
         self.ways = cfg.ways
         self.latency = cfg.latency
-        # Each set is an MRU-ordered list of line addresses (MRU at end).
-        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # set index -> {line: None}, LRU first by dict insertion order.
+        # Sets materialise on first touch, so constructing a simulator
+        # does not allocate one container per set (the L2/L3 set counts
+        # made that allocation cost more than a tiny-scale run), and the
+        # hit path stays O(1) instead of an O(ways) list scan.
+        self._sets: Dict[int, Dict[int, None]] = {}
 
     def lookup(self, line: int) -> bool:
         """True on hit; touches LRU state."""
-        s = self._sets[line & (self.num_sets - 1)]
-        if line in s:
-            s.remove(line)
-            s.append(line)
+        s = self._sets.get(line & (self.num_sets - 1))
+        if s is not None and line in s:
+            del s[line]
+            s[line] = None
             return True
         return False
 
     def insert(self, line: int) -> Optional[int]:
         """Insert ``line``; returns the evicted line, if any."""
-        s = self._sets[line & (self.num_sets - 1)]
-        if line in s:
-            s.remove(line)
-            s.append(line)
+        idx = line & (self.num_sets - 1)
+        s = self._sets.get(idx)
+        if s is None:
+            s = self._sets[idx] = {}
+        elif line in s:
+            del s[line]
+            s[line] = None
             return None
-        s.append(line)
+        s[line] = None
         if len(s) > self.ways:
-            return s.pop(0)
+            victim = next(iter(s))
+            del s[victim]
+            return victim
         return None
 
     def contains(self, line: int) -> bool:
         """Non-touching presence check (for tests/introspection)."""
-        return line in self._sets[line & (self.num_sets - 1)]
+        s = self._sets.get(line & (self.num_sets - 1))
+        return s is not None and line in s
 
     def flush(self) -> None:
-        self._sets = [[] for _ in range(self.num_sets)]
+        self._sets = {}
 
 
 class LoadStats:
@@ -132,6 +142,12 @@ class PrefetchStats:
 class MemorySystem:
     """The full memory hierarchy shared by all hardware thread contexts."""
 
+    #: When False (functional warmup in sampled mode), accesses still
+    #: mutate cache/TLB/transit state — keeping the hierarchy warm — but
+    #: no statistics are recorded.  Class-level default so snapshots
+    #: pickled before the flag existed restore to recording mode.
+    recording = True
+
     def __init__(self, config: MachineConfig):
         self.config = config
         self.l1 = CacheLevel(config.l1)
@@ -139,8 +155,10 @@ class MemorySystem:
         self.l3 = CacheLevel(config.l3)
         self._line_shift = config.l1.line_bytes.bit_length() - 1
         self._page_shift = config.tlb_page_bytes.bit_length() - 1
-        # TLB: MRU-ordered list of page numbers.
-        self._tlb: List[int] = []
+        # TLB: page number -> None, MRU-ordered by dict insertion (oldest
+        # first).  A dict keeps the hit path O(1); the list MRU it
+        # replaces cost an O(n) scan + remove per access.
+        self._tlb: Dict[int, None] = {}
         self._tlb_entries = config.tlb_entries
         # line -> (fill completion cycle, origin level)
         self._in_transit: Dict[int, Tuple[int, str]] = {}
@@ -171,13 +189,14 @@ class MemorySystem:
         page = addr >> self._page_shift
         tlb = self._tlb
         if page in tlb:
-            tlb.remove(page)
-            tlb.append(page)
+            del tlb[page]
+            tlb[page] = None
             return 0
-        tlb.append(page)
+        tlb[page] = None
         if len(tlb) > self._tlb_entries:
-            tlb.pop(0)
-        self.tlb_misses += 1
+            del tlb[next(iter(tlb))]
+        if self.recording:
+            self.tlb_misses += 1
         return self.config.tlb_miss_penalty
 
     def _fill_buffer_start(self, now: int) -> int:
@@ -209,7 +228,7 @@ class MemorySystem:
         # and the global counter agrees with the per-static totals.
         prefetching = is_prefetch or (not is_main and not is_store
                                       and uid in self.prefetch_sources)
-        if prefetching:
+        if prefetching and self.recording:
             self.prefetches_issued += 1
             pstats = self.prefetch_stats.get(uid)
             if pstats is None:
@@ -232,9 +251,23 @@ class MemorySystem:
                 self._record(uid, result, now, self.line_of(addr))
             return result
 
-        line = self.line_of(addr)
-        extra = self._tlb_access(addr)
-        start = now + extra
+        line = addr >> self._line_shift
+        # TLB probe, inlined from :meth:`_tlb_access`: the access path is
+        # the simulator's hottest shared code and the call overhead alone
+        # was measurable at tiny scale.
+        page = addr >> self._page_shift
+        tlb = self._tlb
+        if page in tlb:
+            del tlb[page]
+            tlb[page] = None
+            start = now
+        else:
+            tlb[page] = None
+            if len(tlb) > self._tlb_entries:
+                del tlb[next(iter(tlb))]
+            if self.recording:
+                self.tlb_misses += 1
+            start = now + cfg.tlb_miss_penalty
 
         transit = self._in_transit.get(line)
         if transit is not None:
@@ -247,8 +280,13 @@ class MemorySystem:
                 return result
             del self._in_transit[line]
 
-        if self.l1.lookup(line):
-            result = AccessResult(start + cfg.l1.latency, L1)
+        # L1 probe, inlined from :meth:`CacheLevel.lookup` (same MRU touch).
+        l1 = self.l1
+        s = l1._sets.get(line & (l1.num_sets - 1))
+        if s is not None and line in s:
+            del s[line]
+            s[line] = None
+            result = AccessResult(start + l1.latency, L1)
             if is_main and not is_prefetch and not is_store:
                 self._record(uid, result, now, line)
             return result
@@ -267,9 +305,10 @@ class MemorySystem:
         self.l1.insert(line)
         self._in_transit[line] = (ready, origin)
         heapq.heappush(self._fills, ready)
-        if prefetching:
+        if prefetching and self.recording:
             # Credit this line's next main-thread consumption to the
-            # prefetch that started the fill.
+            # prefetch that started the fill.  Warmup installs no credit:
+            # an uncounted issue must not later count as useful.
             self._prefetched_lines[line] = uid
         # A non-prefetching demand fill does *not* consume or drop the
         # credit: the first main-thread **load** touch is the sole
@@ -285,6 +324,8 @@ class MemorySystem:
 
     def _record(self, uid: int, result: AccessResult, now: int,
                 line: int) -> None:
+        if not self.recording:
+            return
         stats = self.load_stats.get(uid)
         if stats is None:
             stats = self.load_stats[uid] = LoadStats()
@@ -326,7 +367,7 @@ class MemorySystem:
         self.l1.flush()
         self.l2.flush()
         self.l3.flush()
-        self._tlb = []
+        self._tlb = {}
         self._in_transit = {}
         self._fills = []
         self._prefetched_lines = {}

@@ -23,11 +23,41 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional
 
-from ..isa.interp import ThreadState, execute, spawn_thread
-from ..isa.memory import Heap
+from ..isa.decode import (
+    D_READS,
+    K_ALU,
+    K_BR,
+    K_BRC,
+    K_CALL,
+    K_CALLI,
+    K_CHK,
+    K_CMP,
+    K_HALT,
+    K_KILL,
+    K_LD,
+    K_LFETCH,
+    K_LIBLD,
+    K_LIBST,
+    K_MOV,
+    K_NOP,
+    K_RET,
+    K_RFI,
+    K_SPAWN,
+    K_ST,
+    RES_BR,
+    RES_INT,
+    RES_MEM,
+    decode_program,
+    resolve_fast_path,
+    step_decoded,
+)
+from ..isa.interp import ExecutionError, ThreadState, execute, spawn_thread
+from ..isa.memory import HEAP_BASE, Heap
 from ..isa.program import Program
+from ..isa import registers as regs
 from .branch import GsharePredictor
 from .caches import L1, MemorySystem
+from .sampling import advance_chain, warm_chk, warm_slice
 from .config import MachineConfig
 from .stats import STALL_CATEGORY, SimStats
 
@@ -39,7 +69,8 @@ class HWThread:
     """Timing state of one occupied hardware thread context."""
 
     __slots__ = ("state", "reg_ready", "reg_level", "stall_until", "wake",
-                 "spawn_parked_pc", "spec_issued", "spawn_cycle")
+                 "spawn_parked_pc", "spec_issued", "spawn_cycle",
+                 "ready_bound")
 
     def __init__(self, state: ThreadState, start_cycle: int = 0):
         self.state = state
@@ -50,6 +81,10 @@ class HWThread:
         self.spawn_cycle = start_cycle
         #: register name -> cycle its value becomes available.
         self.reg_ready: Dict[str, int] = {}
+        #: Upper bound on every value in ``reg_ready``: once the clock
+        #: passes it, no register can block and the scoreboard scan is
+        #: skipped wholesale.
+        self.ready_bound = 0
         #: register name -> cache level that supplied it (loads only).
         self.reg_level: Dict[str, Optional[str]] = {}
         #: no fetch/issue before this cycle (flush, startup).
@@ -81,10 +116,26 @@ class InOrderSimulator:
     SPAWN_WAIT_LIMIT = 1500
 
     def __init__(self, program: Program, heap: Heap, config: MachineConfig,
-                 spawning: bool = True, max_cycles: int = 200_000_000):
+                 spawning: bool = True, max_cycles: int = 200_000_000,
+                 fast_path: Optional[bool] = None):
         if not program.finalized:
             program.finalize()
         self.program = program
+        #: Issue from the pre-decoded table (repro.isa.decode) instead of
+        #: re-interpreting Instruction objects per cycle.  Byte-identical
+        #: SimStats either way; ``None`` resolves via REPRO_SIM_LEGACY.
+        self.fast_path = resolve_fast_path(fast_path)
+        # The decoded table is built unconditionally: the sampled mode's
+        # functional fast-forward uses it even on the legacy path.
+        self._dcode = decode_program(program)
+        self._dreads = [d[D_READS] for d in self._dcode]
+        n_ctx = config.hardware_contexts
+        # Precomputed speculative-context round-robin orders, one per _rr
+        # value (the legacy loop rebuilds this list every cycle).
+        self._slot_orders = {
+            rr: tuple([0] + [1 + (rr + k - 1) % (n_ctx - 1)
+                             for k in range(1, n_ctx)])
+            for rr in range(1, n_ctx)} if n_ctx > 1 else {}
         self.heap = heap
         self.config = config
         self.spawning = spawning
@@ -100,6 +151,12 @@ class InOrderSimulator:
             [None] * config.hardware_contexts)
         # Outstanding main-thread misses: heap of completion cycles.
         self._main_misses: List[int] = []
+        # Live speculative contexts and their cycle-budget deadlines
+        # (spawn_cycle + spec_cycle_budget, min-heap).  The fast loop
+        # only walks the context slots when one of these says a context
+        # can actually have died; the legacy loop ignores them.
+        self._live_spec = 0
+        self._spec_deadlines: List[int] = []
         self._next_tid = 0
         self._rr = 1  # round-robin pointer over speculative contexts
         # Speculative threads parked waiting for a free context.
@@ -191,6 +248,37 @@ class InOrderSimulator:
         # The restored memory system keeps its recorded prefetch mapping;
         # stats must keep pointing at the restored memory system.
         self.stats.memory = self.memory
+        # A profiler attached *before* restore() captured the pre-restore
+        # clock in _prof_next; renormalise so a resumed profiled run
+        # samples on the configured interval instead of every iteration.
+        if self._profiler is not None:
+            self._prof_next = self._now
+        else:
+            self._prof_next = _FAR_FUTURE
+        # Snapshots pickled before the scoreboard bound existed lack the
+        # slot; recompute it exactly from the restored scoreboard.
+        for ctx in self.contexts:
+            if ctx is not None and not hasattr(ctx, "ready_bound"):
+                ctx.ready_bound = max(ctx.reg_ready.values(), default=0)
+        # Derived reap-trigger state (not part of the snapshot): rebuild
+        # from the restored contexts.  Dead-but-unreaped contexts are
+        # handled by the unconditional reap pass on the first iteration
+        # of the next run().
+        budget = self.config.spec_cycle_budget
+        self._live_spec = 0
+        self._spec_deadlines = []
+        for ctx in self.contexts[1:]:
+            if ctx is not None and not (ctx.state.halted
+                                        or ctx.state.killed):
+                self._live_spec += 1
+                if budget:
+                    heapq.heappush(self._spec_deadlines,
+                                   ctx.spawn_cycle + budget)
+
+    @property
+    def main_done(self) -> bool:
+        """True once the main thread has halted (or been killed)."""
+        return self._started and self.contexts[0].state.done
 
     def _begin(self) -> None:
         """Initialise the main context (once per simulator lifetime)."""
@@ -231,6 +319,11 @@ class InOrderSimulator:
         child = HWThread(child_state,
                          start_cycle=now + self.config.spawn_startup_latency)
         self.contexts[slot] = child
+        self._live_spec += 1
+        budget = self.config.spec_cycle_budget
+        if budget:
+            heapq.heappush(self._spec_deadlines,
+                           child.spawn_cycle + budget)
         self.stats.spawns += 1
         return True
 
@@ -349,11 +442,15 @@ class InOrderSimulator:
                     access = self.memory.access(
                         result.mem_addr, now, instr.uid, is_main)
                     thread.reg_ready[instr.dest] = access.ready
+                    if access.ready > thread.ready_bound:
+                        thread.ready_bound = access.ready
                     thread.reg_level[instr.dest] = access.level
                     if is_main and access.level != L1:
                         heapq.heappush(self._main_misses, access.ready)
                 else:
                     thread.reg_ready[instr.dest] = now + 1
+                    if now + 1 > thread.ready_bound:
+                        thread.ready_bound = now + 1
                     thread.reg_level[instr.dest] = None
             elif op == "st":
                 if result.mem_addr is not None and result.executed:
@@ -368,6 +465,8 @@ class InOrderSimulator:
             elif instr.dest is not None and result.executed:
                 latency = instr.fixed_latency()
                 thread.reg_ready[instr.dest] = now + latency
+                if now + latency > thread.ready_bound:
+                    thread.ready_bound = now + latency
                 thread.reg_level[instr.dest] = None
 
             # -- control flow ------------------------------------------------------
@@ -463,7 +562,8 @@ class InOrderSimulator:
     # -- main loop --------------------------------------------------------------------
 
     def run(self, checkpoint_every: Optional[int] = None,
-            on_checkpoint=None) -> SimStats:
+            on_checkpoint=None,
+            until_cycle: Optional[int] = None) -> SimStats:
         """Simulate until the main thread halts; returns the statistics.
 
         Args:
@@ -474,9 +574,29 @@ class InOrderSimulator:
             on_checkpoint: ``callback(simulator)`` for periodic
                 checkpoints/heartbeats.  Checkpoint cadence never affects
                 the simulated statistics.
+            until_cycle: stop at the first cycle boundary at or past this
+                cycle instead of running to completion (the sampled mode's
+                detailed-window driver); a later :meth:`run` continues.
 
         A simulator whose state was installed by :meth:`restore` continues
         from the checkpointed cycle instead of starting over.
+        """
+        # The fast select path tracks at most two candidate threads; fall
+        # back to the reference loop for exotic wider-fetch overrides.
+        if self.fast_path and self.config.max_threads_per_cycle <= 2:
+            return self._run_fast(checkpoint_every, on_checkpoint,
+                                  until_cycle)
+        return self._run_legacy(checkpoint_every, on_checkpoint,
+                                until_cycle)
+
+    def _run_legacy(self, checkpoint_every: Optional[int] = None,
+                    on_checkpoint=None,
+                    until_cycle: Optional[int] = None) -> SimStats:
+        """Reference per-cycle loop interpreting Instruction objects.
+
+        Kept verbatim as the behavioural oracle for the pre-decoded fast
+        path (``REPRO_SIM_LEGACY=1`` selects it; the differential suite
+        asserts byte-identical SimStats against :meth:`_run_fast`).
         """
         config = self.config
         if not self._started:
@@ -489,6 +609,8 @@ class InOrderSimulator:
             next_checkpoint = now + checkpoint_every
 
         while not main.state.done:
+            if until_cycle is not None and now >= until_cycle:
+                break
             if next_checkpoint is not None and now >= next_checkpoint:
                 self._now = now
                 on_checkpoint(self)
@@ -597,3 +719,807 @@ class InOrderSimulator:
         stats.cycles = now
         stats.mispredicts = self.predictor.mispredicts
         return stats
+
+    # -- pre-decoded fast path ---------------------------------------------------
+
+    def _issue_thread_fast(self, thread: HWThread, budget: int, now: int,
+                           res: _Resources) -> int:
+        """Decoded-table twin of :meth:`_issue_thread`.
+
+        One fused dispatch per instruction over ``repro.isa.decode``
+        tuples: the architectural step (mirroring ``interp.execute``),
+        instruction counters, scoreboard/latency updates and control
+        flow are a single branch per kind — no Instruction attribute
+        access, no ExecResult allocation, and the per-instruction
+        counters and unit pools accumulate in locals that flush once per
+        call.  Behaviour is byte-identical to the legacy method (see its
+        comments for the model rationale); the differential suite
+        enforces it.
+        """
+        program = self.program
+        dcode = self._dcode
+        state = thread.state
+        config = self.config
+        heap = self.heap
+        words = heap._words
+        heap_size = heap.size
+        memory = self.memory
+        stats = self.stats
+        predictor = self.predictor
+        spec_budget = config.spec_instruction_budget
+        is_main = state.tid == 0
+        issued = 0
+        n_stub = 0
+        spec_base = thread.spec_issued
+        ready = thread.reg_ready
+        bound = thread.ready_bound
+        levels = thread.reg_level
+        rd = state.regs
+        preds = state.preds
+        rfi_stack = state.rfi_stack
+        zero = regs.ZERO
+        true_pred = regs.TRUE_PREDICATE
+        res_int = res.int_
+        res_mem = res.mem
+        res_br = res.br
+
+        while issued < budget:
+            # thread.spec_issued == spec_base + issued at every loop top
+            # (each issue increments both), so the budget check can stay
+            # on locals.
+            if not is_main and spec_budget \
+                    and spec_base + issued >= spec_budget:
+                state.killed = True
+                stats.budget_kills += 1
+                break
+
+            pc = state.pc
+            d = dcode[pc]
+
+            # Scoreboard: stall on use of a not-yet-ready register.  The
+            # scan is skipped outright while no write is still pending
+            # (``bound`` caps every reg_ready value).
+            if bound > now:
+                worst = 0
+                for reg in d[8]:                  # D_READS
+                    t = ready.get(reg, 0)
+                    if t > worst:
+                        worst = t
+                if worst > now:
+                    thread.wake = worst
+                    break
+
+            # Structural hazards: shared function units.
+            rescls = d[10]                        # D_RES
+            if rescls == RES_INT:
+                if res_int == 0:
+                    thread.wake = now + 1
+                    break
+                res_int -= 1
+            elif rescls == RES_MEM:
+                if res_mem == 0:
+                    thread.wake = now + 1
+                    break
+                res_mem -= 1
+            else:
+                if res_br == 0:
+                    thread.wake = now + 1
+                    break
+                res_br -= 1
+
+            kind = d[0]                           # D_KIND
+
+            # Chaining spawn waits for a free context (see legacy body).
+            if kind == K_SPAWN and not is_main \
+                    and self._free_slot() is None:
+                if thread.spawn_parked_pc == pc:
+                    thread.spawn_parked_pc = None
+                else:
+                    stats.spawn_waits += 1
+                    thread.spawn_parked_pc = pc
+                    thread.wake = now + self.SPAWN_WAIT_LIMIT
+                    self._context_waiters.append(thread)
+                    break
+
+            chk_fires = False
+            if kind == K_CHK:
+                chk_fires = self.spawning and self._free_slot() is not None
+                if chk_fires and config.dynamic_chk_throttle:
+                    chk_fires = self._throttle_allows(d[13])  # D_UID
+
+            # Predication: a false qualifying predicate squashes the
+            # instruction — it still consumed its slot and unit, counts
+            # as issued, and (for br.cond) still trains the predictor.
+            pred = d[7]                           # D_PRED
+            if pred is not None and not preds.get(pred, False):
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                if kind == K_LD:
+                    dest = d[2]
+                    ready[dest] = now + 1
+                    if now + 1 > bound:
+                        bound = now + 1
+                    levels[dest] = None
+                elif kind == K_LFETCH:
+                    memory.prefetches_dropped += 1
+                if kind == K_BRC:
+                    penalty = predictor.predict_and_update(
+                        pc, state.tid, False)
+                    if penalty < 0:
+                        stats.mispredicts += 1
+                        thread.stall_until = \
+                            now + 1 + config.mispredict_penalty
+                        thread.wake = thread.stall_until
+                        break
+                elif K_BR <= kind <= K_RET:
+                    break
+                elif kind == K_CHK:
+                    stats.chk_ignored += 1
+                elif kind == K_KILL or kind == K_HALT:
+                    break
+                continue
+
+            if kind == K_ALU:
+                src1 = d[4]
+                dest = d[2]
+                rd[dest] = d[12](rd.get(d[3], 0),
+                                 rd.get(src1, 0) if src1 is not None
+                                 else d[5])
+                if dest == zero:
+                    rd[zero] = 0
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                t = now + d[9]                    # D_LAT
+                ready[dest] = t
+                if t > bound:
+                    bound = t
+                levels[dest] = None
+                continue
+
+            if kind == K_LD:
+                dest = d[2]
+                addr = rd.get(d[3], 0) + d[6]     # D_IMM0
+                if not addr & 7 and HEAP_BASE <= addr < heap_size:
+                    rd[dest] = words.get(addr >> 3, 0)
+                    state.pc = pc + 1
+                    issued += 1
+                    if rfi_stack:
+                        n_stub += 1
+                    access = memory.access(addr, now, d[13], is_main)
+                    ready[dest] = access.ready
+                    if access.ready > bound:
+                        bound = access.ready
+                    levels[dest] = access.level
+                    if is_main and access.level != L1:
+                        heapq.heappush(self._main_misses, access.ready)
+                elif state.speculative:
+                    rd[dest] = 0                  # deferred exception
+                    state.pc = pc + 1
+                    issued += 1
+                    ready[dest] = now + 1
+                    if now + 1 > bound:
+                        bound = now + 1
+                    levels[dest] = None
+                else:
+                    raise ExecutionError(
+                        f"bad load address {addr:#x} at pc {pc} "
+                        f"({program.code[pc]})")
+                continue
+
+            if kind == K_CMP:
+                src1 = d[4]
+                dest = d[2]
+                preds[dest] = d[12](rd.get(d[3], 0),
+                                    rd.get(src1, 0) if src1 is not None
+                                    else d[5])
+                if dest == true_pred:
+                    preds[true_pred] = True
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                t = now + d[9]
+                ready[dest] = t
+                if t > bound:
+                    bound = t
+                levels[dest] = None
+                continue
+
+            if kind == K_MOV:
+                src = d[3]
+                dest = d[2]
+                rd[dest] = rd.get(src, 0) if src is not None else d[5]
+                if dest == zero:
+                    rd[zero] = 0
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                t = now + d[9]
+                ready[dest] = t
+                if t > bound:
+                    bound = t
+                levels[dest] = None
+                continue
+
+            if kind == K_BRC:
+                # An *executed* br.cond is always taken: its predicate is
+                # both the qualifying predicate (false → squashed above)
+                # and the branch condition.
+                state.pc = d[11]                  # D_TARGET
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                penalty = predictor.predict_and_update(pc, state.tid, True)
+                if penalty < 0:
+                    stats.mispredicts += 1
+                    thread.stall_until = now + 1 + config.mispredict_penalty
+                    thread.wake = thread.stall_until
+                    break
+                if penalty > 0:
+                    thread.stall_until = now + 1 + penalty
+                    thread.wake = thread.stall_until
+                break  # taken branch ends this thread's fetch group
+
+            if kind == K_BR:
+                state.pc = d[11]
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                break
+
+            if kind == K_ST:
+                if state.speculative:
+                    raise ExecutionError(
+                        "speculative thread attempted a store — the "
+                        "emitter must never place stores in p-slices "
+                        f"({program.code[pc]} at pc {pc})")
+                addr = rd.get(d[3], 0) + d[6]
+                if addr & 7 or not HEAP_BASE <= addr < heap_size:
+                    raise ExecutionError(
+                        f"bad store address {addr:#x} at pc {pc} "
+                        f"({program.code[pc]})")
+                words[addr >> 3] = rd.get(d[4], 0)
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                memory.access(addr, now, d[13], is_main, is_store=True)
+                continue
+
+            if kind == K_LFETCH:
+                addr = rd.get(d[3], 0) + d[6]
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                if not addr & 7 and HEAP_BASE <= addr < heap_size:
+                    memory.access(addr, now, d[13], is_main,
+                                  is_prefetch=True)
+                else:
+                    memory.prefetches_dropped += 1
+                continue
+
+            if kind == K_CALL:
+                state.call_stack.append((pc + 1, dict(rd)))
+                state.pc = d[11]
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                break
+
+            if kind == K_RET:
+                if not state.call_stack:
+                    state.halted = True
+                else:
+                    ret_pc, saved = state.call_stack.pop()
+                    saved[regs.RET_VALUE] = rd.get(regs.RET_VALUE, 0)
+                    state.regs = saved
+                    rd = saved
+                    state.pc = ret_pc
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                break
+
+            if kind == K_CALLI:
+                fid = rd.get(d[3], 0)
+                if 0 <= fid < len(program.function_by_id):
+                    state.call_stack.append((pc + 1, dict(rd)))
+                    state.pc = program.function_entry[
+                        program.function_by_id[fid]]
+                elif state.speculative:
+                    state.killed = True
+                else:
+                    raise ExecutionError(
+                        f"bad indirect call target {fid} at pc {pc}")
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                break
+
+            if kind == K_CHK:
+                was_stub = bool(rfi_stack)
+                if chk_fires:
+                    rfi_stack.append(pc + 1)
+                    state.pc = d[11]
+                else:
+                    state.pc = pc + 1
+                issued += 1
+                if was_stub:
+                    n_stub += 1
+                if chk_fires:
+                    stats.chk_fired += 1
+                    self._on_chk_fired(d[13], now)
+                    thread.stall_until = now + config.chk_flush_penalty
+                    thread.wake = thread.stall_until
+                    break
+                stats.chk_ignored += 1
+                continue
+
+            if kind == K_RFI:
+                if not rfi_stack:
+                    raise ExecutionError(
+                        f"rfi with no pending recovery at pc {pc}")
+                state.pc = rfi_stack.pop()
+                issued += 1
+                n_stub += 1
+                continue  # rfi does not end the fetch group
+
+            if kind == K_SPAWN:
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                self._spawn(thread, d[11], now)
+                continue
+
+            if kind == K_LIBST:
+                state.lib_out[d[5]] = rd.get(d[3], 0)
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                continue
+
+            if kind == K_LIBLD:
+                dest = d[2]
+                rd[dest] = state.lib_in[d[5]]
+                state.pc = pc + 1
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                t = now + d[9]
+                ready[dest] = t
+                if t > bound:
+                    bound = t
+                levels[dest] = None
+                continue
+
+            if kind == K_KILL or kind == K_HALT:
+                if kind == K_KILL:
+                    state.killed = True
+                else:
+                    state.halted = True
+                issued += 1
+                if rfi_stack:
+                    n_stub += 1
+                break
+
+            # K_NOP
+            state.pc = pc + 1
+            issued += 1
+            if rfi_stack:
+                n_stub += 1
+            continue
+
+        if issued and thread.wake <= now \
+                and not (state.halted or state.killed):
+            thread.wake = now + 1
+        thread.ready_bound = bound
+        res.int_ = res_int
+        res.mem = res_mem
+        res.br = res_br
+        if issued:
+            if is_main:
+                stats.main_instructions += issued
+                if n_stub:
+                    stats.main_stub_instructions += n_stub
+            else:
+                stats.spec_instructions += issued
+                thread.spec_issued = spec_base + issued
+        return issued
+
+    def _main_category_fast(self, main: HWThread, issued_main: int,
+                            now: int) -> str:
+        """Decoded-reads twin of :meth:`_main_category`."""
+        misses = self._main_misses
+        while misses and misses[0] <= now:
+            heapq.heappop(misses)
+        if issued_main > 0:
+            return "CacheExec" if misses else "Exec"
+        ms = main.state
+        if ms.halted or ms.killed:
+            return "Other"
+        if main.stall_until > now:
+            return "Other"  # flush/redirect bubble
+        ready = main.reg_ready
+        worst_cycle, worst_reg = 0, None
+        for reg in self._dreads[ms.pc]:
+            t = ready.get(reg, 0)
+            if t > worst_cycle:
+                worst_cycle, worst_reg = t, reg
+        if worst_cycle > now:
+            level = main.reg_level.get(worst_reg)
+            if level == L1:
+                return "Exec"  # short L1-hit interlock
+            if level in STALL_CATEGORY:
+                return STALL_CATEGORY[level]
+            return "Other"
+        return "Other"  # lost fetch slots to other threads, etc.
+
+    def _run_fast(self, checkpoint_every: Optional[int] = None,
+                  on_checkpoint=None,
+                  until_cycle: Optional[int] = None) -> SimStats:
+        """Pre-decoded run loop: same cycle structure as
+        :meth:`_run_legacy` (one iteration per non-skipped cycle, so _rr
+        and all snapshot state evolve identically) with hoisted locals,
+        precomputed slot orders, a fused reap-and-liveness pass, inline
+        scoreboard checks over decoded read sets, and inline Figure 10
+        accounting on the issuing path.
+        """
+        config = self.config
+        if not self._started:
+            self._begin()
+        main = self.contexts[0]
+        main_state = main.state
+        stats = self.stats
+        now = self._now
+        next_checkpoint = None
+        if on_checkpoint is not None and checkpoint_every:
+            next_checkpoint = now + checkpoint_every
+
+        dreads = self._dreads
+        contexts = self.contexts
+        slot_orders = self._slot_orders
+        breakdown = stats.cycle_breakdown
+        main_misses = self._main_misses
+        heappop = heapq.heappop
+        n_ctx = config.hardware_contexts
+        max_threads = config.max_threads_per_cycle
+        issue_width = config.issue_width
+        bundle_size = config.bundle_size
+        max_cycles = self.max_cycles
+        cycle_budget = config.spec_cycle_budget
+        memory_ports = config.memory_ports
+        int_units = config.int_units
+        branch_units = config.branch_units
+        res = _Resources(config)
+        rr = self._rr
+        prof_next = self._prof_next
+        issue = self._issue_thread_fast
+        deadlines = self._spec_deadlines
+        # Force a full reap pass on the first iteration: a restored
+        # snapshot (or a resumed run) may hold dead-but-unreaped
+        # contexts.
+        reap_due = True
+
+        while not (main_state.halted or main_state.killed):
+            if until_cycle is not None and now >= until_cycle:
+                break
+            if next_checkpoint is not None and now >= next_checkpoint:
+                self._now = now
+                self._rr = rr
+                on_checkpoint(self)
+                while next_checkpoint <= now:
+                    next_checkpoint += checkpoint_every
+            if now >= max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {self.max_cycles} cycles")
+            prof = None
+            if now >= prof_next:
+                prof = self._profiler
+                t_prof = prof.begin(now)
+
+            # Reap finished speculative threads and wake parked spawners.
+            # The slot walk only runs when a context can actually have
+            # died: an issue-side death last cycle (reap_due) or an
+            # expired cycle-budget deadline; otherwise liveness comes
+            # from the running _live_spec count.
+            if reap_due or (deadlines and deadlines[0] <= now):
+                reap_due = False
+                while deadlines and deadlines[0] <= now:
+                    heappop(deadlines)
+                have_spec = False
+                for slot in range(1, n_ctx):
+                    ctx = contexts[slot]
+                    if ctx is None:
+                        continue
+                    cs = ctx.state
+                    cs_done = cs.halted or cs.killed
+                    if cycle_budget and not cs_done \
+                            and now - ctx.spawn_cycle >= cycle_budget:
+                        cs.killed = True
+                        stats.budget_kills += 1
+                        cs_done = True
+                    if cs_done:
+                        contexts[slot] = None
+                        self._live_spec -= 1
+                        stats.threads_completed += 1
+                        self._on_reap(slot, now)
+                        if self._context_waiters:
+                            for waiter in self._context_waiters:
+                                ws = waiter.state
+                                if not (ws.halted or ws.killed):
+                                    waiter.wake = now
+                            self._context_waiters = []
+                    else:
+                        have_spec = True
+            else:
+                have_spec = self._live_spec != 0
+            if prof is not None:
+                t_prof = prof.lap("reap", t_prof)
+
+            # Select up to two issuable threads (main has fetch priority;
+            # speculative contexts round-robin the remaining slot).
+            cand0 = cand1 = None
+            if have_spec:
+                for slot in slot_orders[rr]:
+                    ctx = contexts[slot]
+                    if ctx is None:
+                        continue
+                    cs = ctx.state
+                    if cs.halted or cs.killed or ctx.stall_until > now \
+                            or ctx.wake > now:
+                        continue
+                    if ctx.ready_bound > now:
+                        ready = ctx.reg_ready
+                        blocked = False
+                        for reg in dreads[cs.pc]:
+                            if ready.get(reg, 0) > now:
+                                blocked = True
+                                break
+                        if blocked:
+                            continue
+                    if cand0 is None:
+                        cand0 = ctx
+                        if max_threads == 1:
+                            break
+                    else:
+                        cand1 = ctx
+                        if max_threads == 2:
+                            break
+            elif main.stall_until <= now and main.wake <= now:
+                if main.ready_bound <= now:
+                    cand0 = main
+                else:
+                    ready = main.reg_ready
+                    for reg in dreads[main_state.pc]:
+                        if ready.get(reg, 0) > now:
+                            break
+                    else:
+                        cand0 = main
+            rr = rr % (n_ctx - 1) + 1
+            if prof is not None:
+                t_prof = prof.lap("select", t_prof)
+
+            issued_main = 0
+            if cand0 is not None:
+                res.mem = memory_ports
+                res.int_ = int_units
+                res.br = branch_units
+                if cand1 is None:
+                    n = issue(cand0, issue_width, now, res)
+                    if cand0 is main:
+                        issued_main = n
+                else:
+                    n = issue(cand0, bundle_size, now, res)
+                    if cand0 is main:
+                        issued_main = n
+                    n = issue(cand1, bundle_size, now, res)
+                    if cand1 is main:
+                        issued_main = n
+                if ((cand0 is not main
+                     and (cand0.state.halted or cand0.state.killed))
+                        or (cand1 is not None and cand1 is not main
+                            and (cand1.state.halted
+                                 or cand1.state.killed))):
+                    reap_due = True
+            if prof is not None:
+                t_prof = prof.lap("issue", t_prof)
+
+            if issued_main:
+                # Inline _main_category_fast's issuing arm (the common
+                # case): drain expired misses, charge CacheExec/Exec.
+                while main_misses and main_misses[0] <= now:
+                    heappop(main_misses)
+                breakdown["CacheExec" if main_misses else "Exec"] += 1
+            else:
+                breakdown[self._main_category_fast(main, 0, now)] += 1
+            if prof is not None:
+                prof.lap("account", t_prof)
+                self._prof_next = prof_next = prof.sample(
+                    now, stats, issued_main, cand0 is None)
+            if main_state.halted or main_state.killed:
+                now += 1
+                break
+
+            if cand0 is not None:
+                now += 1
+                continue
+
+            # Nothing issuable: skip to the earliest wake-up.
+            wake = _FAR_FUTURE
+            for ctx in contexts:
+                if ctx is None:
+                    continue
+                cs = ctx.state
+                if cs.halted or cs.killed:
+                    continue
+                w = ctx.stall_until
+                if ctx.wake > w:
+                    w = ctx.wake
+                if ctx.ready_bound > now:
+                    ready = ctx.reg_ready
+                    worst = 0
+                    for reg in dreads[cs.pc]:
+                        t = ready.get(reg, 0)
+                        if t > worst:
+                            worst = t
+                    if worst > now and worst > w:
+                        w = worst
+                if w < wake:
+                    wake = w
+            if wake == _FAR_FUTURE or wake <= now:
+                wake = now + 1
+            skip = wake - now - 1
+            if skip > 0:
+                breakdown[self._main_category_fast(main, 0, now)] += skip
+            now = wake
+
+        self._rr = rr
+        self._now = now
+        stats.cycles = now
+        stats.mispredicts = self.predictor.mispredicts
+        return stats
+
+    # -- sampled-mode functional fast-forward -------------------------------------
+
+    def fast_forward(self, max_instructions: int, cpi: float,
+                     chain_rate: float = 0.0) -> int:
+        """Skip ahead by functionally executing the main thread.
+
+        The sampled mode (``repro.sim.sampling``) alternates detailed
+        windows (:meth:`run` with ``until_cycle``) with these skips: up to
+        ``max_instructions`` main-thread instructions execute
+        architecturally (so memory contents — and therefore every later
+        detailed window — stay exact) while the cache hierarchy is warmed
+        with attribution recording off and the clock advances by
+        ``round(n * cpi)`` cycles.  Speculative contexts are *paused*,
+        not dropped: their timing state is re-based to the post-skip
+        clock so the next detailed window starts with the spawn chains
+        (and therefore the SSP steady state) intact — killing them made
+        every window pay a full re-ramp and biased sampled CPI toward
+        the unadapted binary's.  Returns the cycles advanced; the caller
+        charges them to Figure-10 categories pro rata to the last window.
+        """
+        if not self._started:
+            self._begin()
+        contexts = self.contexts
+        main = contexts[0]
+        state = main.state
+        if max_instructions <= 0 or state.halted or state.killed:
+            return 0
+        dcode = self._dcode
+        program = self.program
+        heap = self.heap
+        memory = self.memory
+        stats = self.stats
+        spawning = self.spawning
+        clock = float(self._now)
+        n = 0
+        memory.recording = False
+        try:
+            while n < max_instructions \
+                    and not (state.halted or state.killed):
+                d = dcode[state.pc]
+                in_stub = bool(state.rfi_stack)
+                if d[0] == K_CHK and spawning:
+                    # Warm the stub's spawns on a scratch clone; the main
+                    # thread itself steps with chk_fires=False so its
+                    # instruction stream matches the detailed model's
+                    # common (no-free-context) case.
+                    warm_chk(program, heap, memory, dcode, state,
+                             d[11], int(clock))
+                result = step_decoded(program, heap, state, d, False)
+                n += 1
+                clock += cpi
+                stats.main_instructions += 1
+                if in_stub:
+                    stats.main_stub_instructions += 1
+                addr = result[0]
+                if addr is not None:
+                    kind = d[0]
+                    if kind == K_LD:
+                        memory.access(addr, int(clock), d[13], True)
+                    elif kind == K_ST:
+                        memory.access(addr, int(clock), d[13], True,
+                                      is_store=True)
+                    else:
+                        memory.access(addr, int(clock), d[13], True,
+                                      is_prefetch=True)
+                elif result[2] is not None and self.spawning:
+                    # Warm the spawned p-slice functionally so the cache
+                    # keeps its SSP-accelerated contents across the skip.
+                    warm_slice(program, heap, memory, dcode, state,
+                               result[2], int(clock))
+        finally:
+            memory.recording = True
+        advanced = int(round(n * cpi))
+        if n and advanced <= 0:
+            advanced = 1
+        now = self._now + advanced
+        self._now = now
+        stats.cycles = now
+        main.stall_until = now
+        main.wake = now
+        main.spawn_parked_pc = None
+        main.reg_ready.clear()
+        main.ready_bound = 0
+        main.reg_level.clear()
+        self._main_misses = []
+        # Re-base every live speculative context to the post-skip clock:
+        # their own clocks were stopped during the skip, so pending
+        # scoreboard times and the spawn-cycle budget anchor would
+        # otherwise be thousands of cycles stale (an instant budget
+        # kill).  Dead-but-unreaped contexts are left for the run loop's
+        # first-iteration reap pass.
+        budget = self.config.spec_cycle_budget
+        self._spec_deadlines = deadlines = []
+        live = 0
+        # A chaining workload's prefetch frontier keeps station on the
+        # main thread in the detailed model; advance each paused chain
+        # functionally at the pace the last detailed window measured
+        # (``chain_rate`` slices per retired main instruction) before
+        # re-basing whatever survives to the post-skip clock.
+        live_slots = [slot
+                      for slot in range(1, self.config.hardware_contexts)
+                      if contexts[slot] is not None
+                      and not contexts[slot].state.done]
+        total_links = int(n * chain_rate) if spawning else 0
+        max_links = -(-total_links // len(live_slots)) if live_slots else 0
+        memory.recording = False
+        try:
+            for slot in live_slots:
+                ctx = contexts[slot]
+                survivor, done = advance_chain(
+                    program, heap, memory, dcode, ctx.state, max_links,
+                    now)
+                stats.threads_completed += done
+                if survivor is None:
+                    contexts[slot] = None
+                    continue
+                if survivor is not ctx.state:
+                    survivor.tid = self._next_tid
+                    self._next_tid += 1
+                    ctx.state = survivor
+                    ctx.spec_issued = 0
+                live += 1
+                ctx.stall_until = now
+                ctx.wake = now
+                ctx.spawn_parked_pc = None
+                ctx.spawn_cycle = now
+                ctx.reg_ready.clear()
+                ctx.ready_bound = 0
+                ctx.reg_level.clear()
+                if budget:
+                    deadlines.append(now + budget)
+        finally:
+            memory.recording = True
+        self._live_spec = live
+        heapq.heapify(deadlines)
+        return advanced

@@ -35,11 +35,29 @@ import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
+from ..isa.decode import (
+    D_READS,
+    K_BR,
+    K_BRC,
+    K_CHK,
+    K_HALT,
+    K_KILL,
+    K_LD,
+    K_LFETCH,
+    K_RET,
+    K_SPAWN,
+    K_ST,
+    RES_MEM,
+    decode_program,
+    resolve_fast_path,
+    step_decoded,
+)
 from ..isa.interp import ThreadState, execute, spawn_thread
 from ..isa.memory import Heap
 from ..isa.program import Program
 from .branch import GsharePredictor
 from .caches import L1, MemorySystem
+from .sampling import advance_chain, warm_chk, warm_slice
 from .config import MachineConfig
 from .stats import STALL_CATEGORY, SimStats
 
@@ -80,7 +98,8 @@ class OOOSimulator:
     """Runs a finalised program on the out-of-order SMT machine model."""
 
     def __init__(self, program: Program, heap: Heap, config: MachineConfig,
-                 spawning: bool = True, max_cycles: int = 200_000_000):
+                 spawning: bool = True, max_cycles: int = 200_000_000,
+                 fast_path: Optional[bool] = None):
         if not program.finalized:
             program.finalize()
         self.program = program
@@ -88,6 +107,10 @@ class OOOSimulator:
         self.config = config
         self.spawning = spawning
         self.max_cycles = max_cycles
+        #: Pre-decoded issue table; also used by :meth:`fast_forward` on
+        #: the legacy path, so it is built unconditionally.
+        self.fast_path = resolve_fast_path(fast_path)
+        self._dcode = decode_program(program)
         self.memory = MemorySystem(config)
         self.memory.prefetch_sources = dict(
             getattr(program, "prefetch_sources", {}))
@@ -168,6 +191,17 @@ class OOOSimulator:
         for name in self._SNAPSHOT_FIELDS:
             setattr(self, name, state[name])
         self.stats.memory = self.memory
+        # A profiler attached before restore() captured `_prof_next` from
+        # the pre-restore clock; re-anchor it so resumed profiled runs
+        # sample on the configured interval from the restored cycle.
+        self._prof_next = self.cycle if self._profiler is not None \
+            else _FAR_FUTURE
+
+    @property
+    def main_done(self) -> bool:
+        """True once the main thread has architecturally finished."""
+        return self._started and self._main is not None \
+            and self._main.state.done
 
     def _begin(self) -> None:
         """Initialise the main context (once per simulator lifetime)."""
@@ -262,15 +296,29 @@ class OOOSimulator:
     # -- main loop -----------------------------------------------------------------------
 
     def run(self, checkpoint_every: Optional[int] = None,
-            on_checkpoint=None) -> SimStats:
+            on_checkpoint=None,
+            until_cycle: Optional[int] = None) -> SimStats:
         """Simulate until the main thread's halt retires.
 
         ``checkpoint_every``/``on_checkpoint`` behave as in
         :meth:`repro.sim.inorder.InOrderSimulator.run`: the callback fires
         between fetch groups whenever the earliest pending fetch cycle
         crosses the next checkpoint mark, and a :meth:`restore`-d
-        simulator resumes instead of restarting.
+        simulator resumes instead of restarting.  ``until_cycle`` stops
+        the run (resumably) once the earliest pending fetch cycle reaches
+        that mark — the sampled-simulation driver uses it to bound
+        detailed windows.
         """
+        if self.fast_path:
+            return self._run_fast(checkpoint_every, on_checkpoint,
+                                  until_cycle)
+        return self._run_legacy(checkpoint_every, on_checkpoint,
+                                until_cycle)
+
+    def _run_legacy(self, checkpoint_every: Optional[int] = None,
+                    on_checkpoint=None,
+                    until_cycle: Optional[int] = None) -> SimStats:
+        """Reference run loop over :class:`Instruction` objects."""
         program = self.program
         config = self.config
         code = program.code
@@ -287,6 +335,8 @@ class OOOSimulator:
             next_checkpoint = self.cycle + checkpoint_every
 
         while queue:
+            if until_cycle is not None and queue[0][0] >= until_cycle:
+                break
             if next_checkpoint is not None and queue[0][0] >= next_checkpoint:
                 on_checkpoint(self)
                 while next_checkpoint <= queue[0][0]:
@@ -466,7 +516,10 @@ class OOOSimulator:
             heapq.heappush(queue, (max(next_fetch, fetch + 1), self._tie,
                                    thread))
 
-        if stats.cycles == 0:
+        # A full run set stats.cycles when the main thread retired; an
+        # until_cycle window only tracks progress forward (a resumed
+        # sampled run must never let a stale cycle count linger).
+        if stats.cycles < main.last_retire:
             stats.cycles = main.last_retire
         stats.mispredicts = self.predictor.mispredicts
         return stats
@@ -478,6 +531,28 @@ class OOOSimulator:
             if len(pool) > 200_000:
                 for cycle in [c for c in pool if c < horizon]:
                     del pool[cycle]
+
+    def _gap_cause_fast(self, thread: _OOOThread, d) -> str:
+        """Decoded-tuple twin of :meth:`_gap_cause` (same attribution)."""
+        kind = d[0]
+        if kind == K_LD:
+            level = thread.reg_level.get(d[2])
+            if level is not None and level in STALL_CATEGORY:
+                return STALL_CATEGORY[level]
+            return "Exec"
+        worst_level, worst_t = None, -1
+        reg_complete = thread.reg_complete
+        reg_level = thread.reg_level
+        for reg in d[D_READS]:
+            t = reg_complete.get(reg, 0)
+            if t > worst_t:
+                worst_t = t
+                worst_level = reg_level.get(reg)
+        if worst_level is not None and worst_level in STALL_CATEGORY:
+            return STALL_CATEGORY[worst_level]
+        if K_BR <= kind <= K_RET:
+            return "Other"
+        return "Exec"
 
     def _gap_cause(self, thread: _OOOThread, instr) -> str:
         """Attribute a retire gap to a Figure 10 category."""
@@ -498,3 +573,438 @@ class OOOSimulator:
         if instr.is_branch:
             return "Other"
         return "Exec"
+
+    # -- pre-decoded fast path -------------------------------------------------------
+
+    def _run_fast(self, checkpoint_every: Optional[int] = None,
+                  on_checkpoint=None,
+                  until_cycle: Optional[int] = None) -> SimStats:
+        """Fast run loop over the pre-decoded issue table.
+
+        Byte-identical to :meth:`_run_legacy`: same pop order, same
+        resource-pool probes, same Figure 10 accounting.  Wins come from
+        flat tuple access instead of attribute/dict lookups, inlined
+        timing/retire, and a no-sift pop when only one thread is live.
+        """
+        program = self.program
+        config = self.config
+        dcode = self._dcode
+        stats = self.stats
+        if not self._started:
+            self._begin()
+        main = self._main
+        queue = self._queue
+        main_misses = self._main_misses
+        heap = self.heap
+        memory = self.memory
+        predictor = self.predictor
+        breakdown = stats.cycle_breakdown
+        issue_used = self._issue_used
+        port_used = self._port_used
+        fetch_used = self._fetch_used
+        issue_width = config.issue_width
+        memory_ports = config.memory_ports
+        bundles_per_cycle = config.bundles_per_cycle
+        bundle_size = config.bundle_size
+        hardware_contexts = config.hardware_contexts
+        spec_cycle_budget = config.spec_cycle_budget
+        spec_budget = config.spec_instruction_budget
+        mispredict_penalty = config.mispredict_penalty
+        chk_flush_penalty = config.chk_flush_penalty
+        spawn_startup_latency = config.spawn_startup_latency
+        rob_entries = config.rob_entries
+        rs_entries = config.rs_entries
+        max_cycles = self.max_cycles
+        spawning = self.spawning
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        next_checkpoint = None
+        if on_checkpoint is not None and checkpoint_every:
+            next_checkpoint = self.cycle + checkpoint_every
+
+        while queue:
+            if until_cycle is not None and queue[0][0] >= until_cycle:
+                break
+            if next_checkpoint is not None and queue[0][0] >= next_checkpoint:
+                on_checkpoint(self)
+                while next_checkpoint <= queue[0][0]:
+                    next_checkpoint += checkpoint_every
+            # A heap of one needs no sift — the common case once the
+            # speculative contexts drain.
+            if len(queue) == 1:
+                fetch, _, thread = queue[0]
+                del queue[0]
+            else:
+                fetch, _, thread = heappop(queue)
+            self._pops += 1
+            if self._pops % 50_000 == 0:
+                self._prune_pools(fetch)
+            prof = None
+            if fetch >= self._prof_next:
+                prof = self._profiler
+                t_prof = prof.begin(fetch)
+            state = thread.state
+            tid = state.tid
+            if (tid != 0 and not state.done
+                    and spec_cycle_budget
+                    and fetch - thread.spawn_cycle >= spec_cycle_budget):
+                state.killed = True
+                stats.budget_kills += 1
+            if state.done:
+                self._live_threads -= 1
+                continue
+            if self._end_cycle is not None and fetch >= self._end_cycle:
+                self._live_threads -= 1
+                continue
+            if fetch >= max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {max_cycles} cycles")
+            is_main = tid == 0
+
+            while fetch_used.get(fetch, 0) >= bundles_per_cycle:
+                fetch += 1
+            fetch_used[fetch] = fetch_used.get(fetch, 0) + 1
+            next_fetch = fetch + 1
+            if prof is not None:
+                t_prof = prof.lap("fetch", t_prof)
+            reg_complete = thread.reg_complete
+            reg_level = thread.reg_level
+            start_ring = thread.start_ring
+            retire_ring = thread.retire_ring
+            for _ in range(bundle_size):
+                d = dcode[state.pc]
+                kind = d[0]
+                if len(retire_ring) == retire_ring.maxlen \
+                        and retire_ring[0] > fetch:
+                    fetch = retire_ring[0]
+                    next_fetch = fetch + 1
+
+                if (kind == K_SPAWN and tid != 0
+                        and self._live_threads >= hardware_contexts
+                        and thread.spawn_retries < 96):
+                    stats.spawn_waits += 1
+                    thread.spawn_retries += 1
+                    next_fetch = fetch + 16
+                    break
+
+                if tid != 0:
+                    if spec_budget and thread.spec_issued >= spec_budget:
+                        state.killed = True
+                        stats.budget_kills += 1
+                        break
+                    thread.spec_issued += 1
+
+                chk_fires = False
+                if kind == K_CHK:
+                    chk_fires = (spawning
+                                 and self._live_threads < hardware_contexts)
+                pc_before = state.pc
+                in_stub = is_main and bool(state.rfi_stack)
+                if prof is not None:
+                    t_prof = prof.lap("schedule", t_prof)
+                result = step_decoded(program, heap, state, d, chk_fires)
+                if prof is not None:
+                    t_prof = prof.lap("interp", t_prof)
+                mem_addr = result[0]
+                executed = result[3]
+                if is_main:
+                    stats.main_instructions += 1
+                    if in_stub:
+                        stats.main_stub_instructions += 1
+                else:
+                    stats.spec_instructions += 1
+
+                # Timing (inlined _time_instruction).
+                ready = fetch + 1
+                for reg in d[8]:
+                    t = reg_complete.get(reg, 0)
+                    if t > ready:
+                        ready = t
+                if len(start_ring) == start_ring.maxlen:
+                    oldest = start_ring[0]
+                    if oldest > ready:
+                        ready = oldest
+                start = ready
+                while issue_used.get(start, 0) >= issue_width:
+                    start += 1
+                issue_used[start] = issue_used.get(start, 0) + 1
+                dest = d[2]
+                if d[10] == RES_MEM and executed and mem_addr is not None:
+                    while port_used.get(start, 0) >= memory_ports:
+                        start += 1
+                    port_used[start] = port_used.get(start, 0) + 1
+                    if kind == K_LD:
+                        access = memory.access(mem_addr, start, d[13],
+                                               is_main)
+                        completion = access.ready
+                        reg_level[dest] = access.level
+                    elif kind == K_ST:
+                        memory.access(mem_addr, start, d[13], is_main,
+                                      is_store=True)
+                        completion = start + 1
+                    else:  # lfetch
+                        memory.access(mem_addr, start, d[13], is_main,
+                                      is_prefetch=True)
+                        completion = start + 1
+                else:
+                    if kind == K_LFETCH and (mem_addr is None
+                                             or not executed):
+                        memory.prefetches_dropped += 1
+                    completion = start + (d[9] if executed else 1)
+                start_ring.append(start)
+                if dest is not None and executed:
+                    reg_complete[dest] = completion
+                    if kind != K_LD:
+                        reg_level[dest] = None
+
+                # Retirement (inlined _retire).
+                retire = completion if completion > thread.last_retire \
+                    else thread.last_retire
+                if thread.retire_count >= issue_width \
+                        and len(retire_ring) >= issue_width \
+                        and retire_ring[-issue_width] >= retire:
+                    retire = retire_ring[-issue_width] + 1
+                retire_ring.append(retire)
+                thread.last_retire = retire
+                thread.retire_count += 1
+                if prof is not None:
+                    t_prof = prof.lap("timing", t_prof)
+
+                # Figure 10 accounting (main thread, gap-based).
+                if is_main:
+                    prev = retire_ring[-2] if len(retire_ring) > 1 else 0
+                    gap = retire - prev
+                    if kind == K_LD and mem_addr is not None:
+                        level = reg_level.get(dest)
+                        if level is not None and level != L1:
+                            heappush(main_misses, completion)
+                    if gap > 0:
+                        while main_misses and main_misses[0] <= prev:
+                            heappop(main_misses)
+                        breakdown["CacheExec" if main_misses
+                                  else "Exec"] += 1
+                        if gap > 1:
+                            breakdown[self._gap_cause_fast(thread, d)] += \
+                                gap - 1
+
+                # Control-flow consequences for fetch.
+                if kind == K_BRC:
+                    penalty = predictor.predict_and_update(
+                        pc_before, tid, bool(result[1]))
+                    if penalty < 0:
+                        stats.mispredicts += 1
+                        next_fetch = completion + mispredict_penalty
+                        break
+                    if result[1]:
+                        next_fetch = fetch + 1 + penalty
+                        break
+                elif K_BR <= kind <= K_RET:
+                    break
+                elif kind == K_CHK:
+                    if result[4]:
+                        stats.chk_fired += 1
+                        next_fetch = retire + chk_flush_penalty
+                        break
+                    stats.chk_ignored += 1
+                elif kind == K_SPAWN:
+                    if result[2] is not None:
+                        thread.spawn_retries = 0
+                        if self._live_threads < hardware_contexts:
+                            self._next_tid += 1
+                            child_state = spawn_thread(state, self._next_tid,
+                                                       result[2])
+                            child = _OOOThread(child_state,
+                                               retire + spawn_startup_latency,
+                                               rob_entries, rs_entries)
+                            self._live_threads += 1
+                            stats.spawns += 1
+                            self._tie += 1
+                            heappush(queue, (child.fetch_cycle, self._tie,
+                                             child))
+                        else:
+                            stats.spawn_failures += 1
+                elif kind == K_KILL or kind == K_HALT:
+                    break
+                if state.done:
+                    break
+
+            if prof is not None:
+                prof.lap("account", t_prof)
+                self._prof_next = prof.sample(fetch, stats,
+                                              1 if is_main else 0, False)
+            if state.done:
+                self._live_threads -= 1
+                if is_main:
+                    self._end_cycle = thread.last_retire
+                    stats.cycles = thread.last_retire
+                else:
+                    stats.threads_completed += 1
+                continue
+            self._tie += 1
+            entry = (next_fetch if next_fetch > fetch + 1 else fetch + 1,
+                     self._tie, thread)
+            if queue:
+                heappush(queue, entry)
+            else:
+                queue.append(entry)
+
+        # A full run set stats.cycles when the main thread retired; an
+        # until_cycle window only tracks progress forward (a resumed
+        # sampled run must never let a stale cycle count linger).
+        if stats.cycles < main.last_retire:
+            stats.cycles = main.last_retire
+        stats.mispredicts = predictor.mispredicts
+        return stats
+
+    # -- quiescent fast-forward ------------------------------------------------------
+
+    def fast_forward(self, max_instructions: int, cpi: float = 1.0,
+                     chain_rate: float = 0.0) -> int:
+        """Functionally execute up to ``max_instructions`` main-thread
+        instructions without per-cycle timing, advancing the clock by
+        ``round(n * cpi)``.
+
+        The sampled-simulation driver (:mod:`repro.sim.sampling`) uses
+        this between detailed windows: architectural state stays exact
+        (so workload output checks still pass), caches and TLB stay warm
+        (accesses are replayed at the estimated clock with statistics
+        recording suppressed), and speculative threads are *paused*,
+        not dropped — their timing is re-based to the post-skip clock
+        so the next detailed window keeps the SSP steady state instead
+        of paying a full spawn-chain re-ramp.  Returns the number of
+        cycles advanced.
+        """
+        if not self._started:
+            self._begin()
+        main = self._main
+        state = main.state
+        if max_instructions <= 0 or state.done:
+            return 0
+        program = self.program
+        heap = self.heap
+        memory = self.memory
+        stats = self.stats
+        spawning = self.spawning
+        dcode = self._dcode
+        # Anchor the skip at the retire clock, not the fetch clock: the
+        # gap-based Figure-10 charges telescope on retire times (which
+        # run ahead of the fetch events in the queue), so starting the
+        # skip below ``last_retire`` would double-charge the in-flight
+        # gap and break ``sum(cycle_breakdown) == cycles``.
+        base = self.cycle
+        if main.last_retire > base:
+            base = main.last_retire
+        clock = float(base)
+        n = 0
+        memory.recording = False
+        try:
+            while n < max_instructions and not state.done:
+                d = dcode[state.pc]
+                in_stub = bool(state.rfi_stack)
+                if d[0] == K_CHK and spawning:
+                    # Warm the stub's spawns on a scratch clone; the main
+                    # thread itself steps with chk_fires=False so its
+                    # instruction stream matches the detailed model's
+                    # common (no-free-context) case.
+                    warm_chk(program, heap, memory, dcode, state,
+                             d[11], int(clock))
+                result = step_decoded(program, heap, state, d, False)
+                n += 1
+                clock += cpi
+                stats.main_instructions += 1
+                if in_stub:
+                    stats.main_stub_instructions += 1
+                addr = result[0]
+                if addr is not None:
+                    kind = d[0]
+                    if kind == K_LD:
+                        memory.access(addr, int(clock), d[13], True)
+                    elif kind == K_ST:
+                        memory.access(addr, int(clock), d[13], True,
+                                      is_store=True)
+                    else:  # lfetch
+                        memory.access(addr, int(clock), d[13], True,
+                                      is_prefetch=True)
+                elif result[2] is not None and self.spawning:
+                    # Warm the spawned p-slice functionally so the cache
+                    # keeps its SSP-accelerated contents across the skip.
+                    warm_slice(program, heap, memory, dcode, state,
+                               result[2], int(clock))
+        finally:
+            memory.recording = True
+        skipped = int(round(n * cpi))
+        if n and skipped <= 0:
+            skipped = 1
+        now = base + skipped
+        # The caller charges the returned count to the cycle breakdown,
+        # so it must cover the whole jump of the *retire* clock: when
+        # the fetch events ran ahead of ``last_retire`` the skip also
+        # swallows that in-flight span, and when ``base`` was clamped up
+        # to ``last_retire`` the two are equal.
+        advanced = now - main.last_retire
+        self._main_misses = []
+        self._issue_used = {}
+        self._port_used = {}
+        self._fetch_used = {}
+        if state.done:
+            self._queue = []
+            self._live_threads = 0
+            self._end_cycle = now
+            stats.cycles = now
+            return advanced
+        # Re-base every live thread to a quiescent machine at ``now``.
+        # The main thread's retire ring is seeded with ``now`` so the
+        # next window's gap-based Figure-10 accounting starts from the
+        # post-skip clock instead of re-charging the whole skip, and
+        # speculative threads keep their contexts (timing re-based, a
+        # fresh cycle-budget anchor) — see InOrderSimulator.fast_forward
+        # for why dropping them biases sampled CPI.
+        main.reg_complete.clear()
+        main.reg_level.clear()
+        main.retire_ring.clear()
+        main.start_ring.clear()
+        main.spawn_retries = 0
+        main.last_retire = now
+        main.fetch_cycle = now
+        main.retire_ring.append(now)
+        self._tie += 1
+        queue = [(now, self._tie, main)]
+        # A chaining workload's prefetch frontier keeps station on the
+        # main thread in the detailed model; advance each paused chain
+        # functionally at the pace the last detailed window measured
+        # (``chain_rate`` slices per retired main instruction) before
+        # re-basing whatever survives to the post-skip clock.
+        chains = [entry[2] for entry in self._queue
+                  if entry[2] is not main and not entry[2].state.done]
+        total_links = int(n * chain_rate) if spawning else 0
+        max_links = -(-total_links // len(chains)) if chains else 0
+        memory.recording = False
+        try:
+            for thread in chains:
+                survivor, done = advance_chain(
+                    program, heap, memory, dcode, thread.state, max_links,
+                    now)
+                stats.threads_completed += done
+                if survivor is None:
+                    continue
+                if survivor is not thread.state:
+                    survivor.tid = self._next_tid
+                    self._next_tid += 1
+                    thread.state = survivor
+                    thread.spec_issued = 0
+                    thread.retire_count = 0
+                thread.reg_complete.clear()
+                thread.reg_level.clear()
+                thread.retire_ring.clear()
+                thread.start_ring.clear()
+                thread.spawn_retries = 0
+                thread.last_retire = now
+                thread.fetch_cycle = now
+                thread.spawn_cycle = now
+                self._tie += 1
+                queue.append((now, self._tie, thread))
+        finally:
+            memory.recording = True
+        self._queue = queue
+        self._live_threads = len(queue)
+        return advanced

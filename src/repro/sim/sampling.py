@@ -1,0 +1,292 @@
+"""Sampled simulation: detailed windows stitched by functional skips.
+
+Full-detail simulation models every cycle.  The sampled mode (SMARTS-style
+periodic sampling) instead alternates:
+
+* a **detailed window** of ``sample_window`` cycles, simulated exactly by
+  the machine model (``run(until_cycle=...)``), and
+* a **functional fast-forward** covering the rest of each
+  ``sample_interval``-cycle period: the main thread executes
+  architecturally (so memory contents — and therefore every later
+  detailed window and the final output check — stay exact) while the
+  cache hierarchy and TLB keep warming with statistics recording off,
+  and the clock advances at the last window's measured CPI.
+
+Fast-forwarded cycles are charged to Figure 10 categories pro rata to the
+last detailed window's breakdown (:meth:`SimStats.charge_proportional`),
+so ``sum(cycle_breakdown) == cycles`` holds exactly and the Figure 2/8/9/10
+shapes track the full-detail run within the error bound documented in
+EXPERIMENTS.md.  Speculative threads contribute no *timing* during skips,
+but their p-slices still execute functionally (:func:`warm_slice`) so the
+prefetches they would have issued keep the cache hierarchy in its
+SSP-accelerated steady state; the detailed windows carry the speculation
+statistics.
+
+The knobs live on :class:`repro.runner.spec.RunSpec` (``sample_interval`` /
+``sample_window``) and sampled specs hash differently from full-detail
+specs, so cached artifacts and ledger entries never conflate the two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .stats import SimStats
+
+#: Floor on the detailed window, in cycles.  Below this the first window
+#: cannot even cover the pipeline's warm-up transients (spawn startup,
+#: a single memory-latency miss) and CPI estimates are meaningless.
+MIN_WINDOW = 100
+
+#: CPI assumed for a skip when the last detailed window retired no
+#: main-thread instructions (a window spent entirely in a stall).
+FALLBACK_CPI = 2.0
+
+#: Functional-warming caps: one spawn point warms at most this many
+#: slices (chained spawns included), each bounded to this many
+#: instructions — the detailed machine kills runaway slices with its
+#: cycle/instruction budgets, and the warmer must be bounded too.
+WARM_SLICE_FANOUT = 8
+WARM_SLICE_INSTRUCTIONS = 2000
+
+#: Upper bound on the measured chain pace (chained slices advanced per
+#: skipped main-thread instruction).  The per-window measurement is
+#: noisy — a window that catches a burst of chained spawns can report a
+#: pace several times the true one, and a single overshooting skip can
+#: functionally consume the rest of a pointer-chasing workload's chain
+#: (permanently, once the dynamic chk throttle has suppressed the
+#: trigger that would rebuild it).  Undershoot is self-correcting: the
+#: next window re-spawns and re-measures.
+CHAIN_RATE_CAP = 0.2
+
+def advance_chain(program, heap, memory, dcode, state, max_links: int,
+                  clock: int):
+    """Functionally advance a paused speculative chain during a skip.
+
+    Runs ``state`` (a live speculative thread) to the end of its slice,
+    then follows chained spawns breadth-first for up to ``max_links``
+    completed slices, replaying loads/``lfetch``\\ es against the memory
+    hierarchy (statistics recording must already be off).  This is what
+    the detailed machine would have done across the skipped interval —
+    chaining workloads keep their prefetch frontier just ahead of the
+    main thread, so post-skip windows measure the accelerated CPI.  The
+    caller sets ``max_links`` from the chain pace the last detailed
+    window *measured* (completed slices per main-thread instruction), so
+    a self-sustaining chain neither falls behind the skipped main thread
+    nor races ahead of the working set.  ``max_links == 0`` leaves the
+    chain paused where it is.
+
+    Returns ``(survivor, completed)``: the chain state that should
+    occupy the hardware context after the skip and the number of slices
+    completed.  The functional advance never *kills* a chain: if it
+    drains within the link budget (which can mean the pace estimate
+    overshot the real chain, not that the chain is done), the state is
+    restored to its pre-advance position — the warming stands, and the
+    next detailed window makes the live/dead call with real timing.
+    """
+    from ..isa.decode import K_LD, step_decoded
+    from ..isa.interp import ExecutionError, ThreadState, spawn_thread
+    backup = ThreadState(state.tid, state.pc, speculative=state.speculative)
+    backup.regs = dict(state.regs)
+    backup.preds = dict(state.preds)
+    backup.call_stack = list(state.call_stack)
+    backup.rfi_stack = list(state.rfi_stack)
+    backup.lib_out = list(state.lib_out)
+    backup.lib_in = list(state.lib_in)
+    completed = 0
+    links = 0
+    pending = []
+    cur = state
+    while cur is not None and links < max_links:
+        steps = 0
+        dead = False
+        while steps < WARM_SLICE_INSTRUCTIONS \
+                and not (cur.halted or cur.killed):
+            d = dcode[cur.pc]
+            try:
+                result = step_decoded(program, heap, cur, d, False)
+            except ExecutionError:
+                dead = True
+                break
+            steps += 1
+            addr = result[0]
+            if addr is not None:
+                memory.access(addr, clock, d[13], False,
+                              is_prefetch=d[0] != K_LD)
+            elif result[2] is not None:
+                pending.append(spawn_thread(cur, -1, result[2]))
+        if not (cur.halted or cur.killed or dead):
+            return cur, completed       # link budget ran out mid-slice
+        completed += 1
+        links += 1
+        cur = pending.pop(0) if pending else None
+    return (cur if cur is not None else backup), completed
+
+
+def warm_slice(program, heap, memory, dcode, parent, target_pc: int,
+               clock: int) -> None:
+    """Functionally execute a spawned p-slice during a sampled-mode skip.
+
+    The skip executes the main thread architecturally but models no
+    speculative timing; without the slices' prefetches every post-skip
+    detailed window would open on a cold cache and measure the
+    *unadapted* binary's CPI — ruinously biased exactly where SSP wins
+    big.  Warming runs each slice to completion functionally: loads and
+    ``lfetch``\\ es touch the memory hierarchy at the skip clock (with
+    statistics recording already off), register effects stay private to
+    the discarded slice state, and chained spawns are followed up to
+    ``WARM_SLICE_FANOUT`` slices of ``WARM_SLICE_INSTRUCTIONS`` each.
+    """
+    _drain_warm(program, heap, memory, dcode, [(parent, target_pc)], clock)
+
+
+def warm_chk(program, heap, memory, dcode, state, stub_pc: int,
+             clock: int) -> None:
+    """Warm the spawn stub behind a ``chk.c`` during a sampled-mode skip.
+
+    The skip steps the main thread with ``chk_fires=False`` so its
+    instruction stream (and therefore the CPI the windows measure
+    against) stays comparable to the detailed model, where firing is
+    gated on free contexts and the throttle.  The stub is instead run on
+    a scratch *clone* of the main state — live-in staging writes and the
+    ``rfi`` return stay private to the clone — and every spawn it
+    requests is slice-warmed so the cache keeps its SSP-accelerated
+    contents.
+    """
+    from ..isa.decode import step_decoded
+    from ..isa.interp import ExecutionError, ThreadState
+    clone = ThreadState(-1, stub_pc, speculative=True)
+    clone.regs = dict(state.regs)
+    clone.preds = dict(state.preds)
+    clone.lib_out = list(state.lib_out)
+    clone.rfi_stack = [-1]
+    pending = []
+    steps = 0
+    while clone.rfi_stack and steps < WARM_SLICE_INSTRUCTIONS \
+            and not (clone.halted or clone.killed):
+        d = dcode[clone.pc]
+        try:
+            result = step_decoded(program, heap, clone, d, False)
+        except ExecutionError:
+            return
+        steps += 1
+        if result[2] is not None:
+            pending.append((clone, result[2]))
+    _drain_warm(program, heap, memory, dcode, pending, clock)
+
+
+def _drain_warm(program, heap, memory, dcode, pending, clock: int) -> None:
+    """Run queued (parent, target) slices functionally, bounded."""
+    from ..isa.decode import K_LD, step_decoded
+    from ..isa.interp import ExecutionError, spawn_thread
+    fanout = 0
+    while pending and fanout < WARM_SLICE_FANOUT:
+        src, pc = pending.pop()
+        child = spawn_thread(src, -1, pc)
+        fanout += 1
+        steps = 0
+        while steps < WARM_SLICE_INSTRUCTIONS \
+                and not (child.halted or child.killed):
+            d = dcode[child.pc]
+            try:
+                result = step_decoded(program, heap, child, d, False)
+            except ExecutionError:
+                break          # malformed slice: the detail path kills it
+            steps += 1
+            addr = result[0]
+            if addr is not None:
+                memory.access(addr, clock, d[13], False,
+                              is_prefetch=d[0] != K_LD)
+            elif result[2] is not None:
+                pending.append((child, result[2]))
+
+
+def validate_sampling(interval: int, window: int) -> None:
+    """Raise ``ValueError`` unless (interval, window) is a usable pair."""
+    if interval <= 0:
+        raise ValueError(f"sample_interval must be > 0, got {interval}")
+    if window < MIN_WINDOW:
+        raise ValueError(
+            f"sample_window must be >= {MIN_WINDOW} cycles, got {window}")
+    if window >= interval:
+        raise ValueError(
+            f"sample_window ({window}) must be smaller than "
+            f"sample_interval ({interval}); equal would be full detail")
+
+
+def run_sampled(sim, interval: int, window: int,
+                checkpoint_every: Optional[int] = None,
+                on_checkpoint=None) -> SimStats:
+    """Run ``sim`` to completion in sampled mode.
+
+    Every ``interval`` cycles, the first ``window`` are simulated in full
+    detail and the remaining ``interval - window`` are covered by the
+    machine model's ``fast_forward`` at the detailed window's CPI.  The
+    checkpoint hook is forwarded to the detailed segments (skips complete
+    atomically; a checkpoint can only fall on a detailed cycle).
+
+    Works with any simulator exposing ``run(until_cycle=...)``,
+    ``fast_forward(max_instructions, cpi)``, ``cycle``, ``main_done`` and
+    ``stats`` — both machine models do.
+    """
+    validate_sampling(interval, window)
+    stats = sim.stats
+    cpi = FALLBACK_CPI
+    while True:
+        start_cycle = sim.cycle
+        start_instr = stats.main_instructions
+        start_spawns = stats.spawns
+        start_chk = stats.chk_fired
+        start_breakdown = dict(stats.cycle_breakdown)
+        # Ramp half: the cycles right after a skip run without live
+        # speculative threads (they re-spawn during the window), so they
+        # are not representative of steady-state CPI.
+        stats = sim.run(checkpoint_every=checkpoint_every,
+                        on_checkpoint=on_checkpoint,
+                        until_cycle=start_cycle + window // 2)
+        if sim.main_done:
+            return stats
+        mid_cycle = sim.cycle
+        mid_instr = stats.main_instructions
+        if mid_cycle < start_cycle + window:
+            stats = sim.run(checkpoint_every=checkpoint_every,
+                            on_checkpoint=on_checkpoint,
+                            until_cycle=start_cycle + window)
+            if sim.main_done:
+                return stats
+        # Skip clock runs at the steady-state (second-half) CPI; fall
+        # back to the whole window if the second half retired nothing.
+        detailed_cycles = sim.cycle - start_cycle
+        steady_cycles = sim.cycle - mid_cycle
+        steady_instr = stats.main_instructions - mid_instr
+        if steady_instr > 0:
+            cpi = steady_cycles / steady_instr
+        weights = {cat: count - start_breakdown.get(cat, 0)
+                   for cat, count in stats.cycle_breakdown.items()}
+        # The detailed segment may overrun the window (a stall skip lands
+        # past the boundary); the skip covers whatever remains of the
+        # interval.
+        skip_cycles = interval - detailed_cycles
+        if skip_cycles <= 0:
+            continue
+        # Chain pace the window measured: *chained* spawns (spawns issued
+        # by speculative threads, i.e. spawns beyond the one-per-chk-fire
+        # the stubs account for) per retired main instruction.  The skip
+        # advances paused chains at this pace so a self-sustaining
+        # prefetch chain keeps station on the fast-forwarded main thread,
+        # while non-chaining workloads measure ~0 and leave their paused
+        # slices for the next detailed window to time.
+        window_instr = stats.main_instructions - start_instr
+        chained = max(0, (stats.spawns - start_spawns)
+                      - (stats.chk_fired - start_chk))
+        chain_rate = min(chained / window_instr, CHAIN_RATE_CAP) \
+            if window_instr > 0 else 0.0
+        advanced = sim.fast_forward(
+            max(1, int(skip_cycles / cpi)), cpi, chain_rate)
+        if advanced <= 0:
+            # Main thread finished (or cannot advance) during the skip;
+            # one more detailed segment drains and finalises the run.
+            stats = sim.run(checkpoint_every=checkpoint_every,
+                            on_checkpoint=on_checkpoint)
+            return stats
+        stats.charge_proportional(weights, advanced)

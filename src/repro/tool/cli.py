@@ -186,7 +186,8 @@ def _adapt_and_report(name: str, scale: str, model: str,
                       metrics_json: Optional[str] = None,
                       gantt: Optional[str] = None,
                       profile_out: Optional[str] = None,
-                      profile_interval: Optional[int] = None) -> int:
+                      profile_interval: Optional[int] = None,
+                      sample=None) -> int:
     observing = bool(trace or metrics_json or gantt)
     profiler = None
     if profile_out:
@@ -196,6 +197,12 @@ def _adapt_and_report(name: str, scale: str, model: str,
     tracer = Tracer() if observing else NULL_TRACER
     ssp_spec = RunSpec.create(name, scale=scale, model=model,
                               variant="ssp")
+    if sample:
+        ssp_spec = ssp_spec.derive(sample_interval=sample[0],
+                                   sample_window=sample[1])
+        print(f"[sampled] detailed window {sample[1]} of every "
+              f"{sample[0]} cycles; timing is approximate, program "
+              f"results exact")
     artifacts = (_observed_artifacts(ssp_spec, tracer) if observing
                  else artifacts_for(ssp_spec))
     print(f"[1/4] profiling {name} ({scale}) on the baseline in-order "
@@ -663,9 +670,25 @@ def _bench_command(argv: List[str]) -> int:
                            help="do not append this measurement to the "
                                 "ledger (injected self-tests should not "
                                 "pollute the trajectory)")
+    p_compare.add_argument("--assert-speedup", type=float, default=0.0,
+                           metavar="X",
+                           help="also fail unless the median throughput "
+                                "ratio vs the baseline is at least X "
+                                "(CI gate for deliberate speedups)")
 
     args = parser.parse_args(argv)
     names = args.workloads or list(PAPER_ORDER)
+    if args.k < 3:
+        if args.action == "record" and args.pin:
+            # A pinned baseline is what every later compare gates
+            # against: with K < 3 the MAD is meaningless (K=1 gives 0 —
+            # an infinitely confident band) and the gate goes blind.
+            print(f"bench record --pin: --k {args.k} cannot pin a "
+                  f"baseline; a usable noise estimate needs K >= 3",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        print(f"bench: warning: --k {args.k} gives a degenerate noise "
+              f"estimate (MAD needs K >= 3)", file=sys.stderr)
     inject = getattr(args, "inject_slowdown", 1.0)
     try:
         record = regress.measure(
@@ -697,6 +720,15 @@ def _bench_command(argv: List[str]) -> int:
     result = regress.compare(baseline, record, nsigma=args.nsigma,
                              min_rel=args.min_rel)
     print(regress.render_compare(result))
+    if args.assert_speedup > 0:
+        ratio = result.get("median_speedup", 0.0)
+        if ratio < args.assert_speedup:
+            print(f"bench compare: median throughput ratio {ratio:.2f}x "
+                  f"below asserted {args.assert_speedup:g}x",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        print(f"asserted speedup met: {ratio:.2f}x >= "
+              f"{args.assert_speedup:g}x")
     return EXIT_OK if result["ok"] else EXIT_FAILURE
 
 
@@ -941,6 +973,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--inject-seed", type=int, default=0, metavar="N",
                         help="seed for the deterministic fault injector "
                              "(default: 0)")
+    parser.add_argument("--sample", metavar="INTERVAL[:WINDOW]",
+                        default=None,
+                        help="sampled simulation: out of every INTERVAL "
+                             "cycles simulate WINDOW in full detail "
+                             "(default WINDOW: INTERVAL//5) and "
+                             "fast-forward the rest at the window's "
+                             "measured CPI; approximate timing, exact "
+                             "program results (see README)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -948,6 +988,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             marker = "*" if name in PAPER_ORDER else " "
             print(f" {marker} {name}")
         return EXIT_OK
+    sample = None
+    if args.sample:
+        from ..sim.sampling import validate_sampling
+        try:
+            if ":" in args.sample:
+                interval_text, window_text = args.sample.split(":", 1)
+                sample = (int(interval_text), int(window_text))
+            else:
+                interval = int(args.sample)
+                sample = (interval, interval // 5)
+            validate_sampling(*sample)
+        except ValueError as exc:
+            print(f"--sample: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        if args.trace or args.metrics_json or args.gantt or args.profile:
+            print("--sample runs through the batch runner and cannot be "
+                  "combined with the in-process observers (--trace, "
+                  "--metrics-json, --gantt, --profile)", file=sys.stderr)
+            return EXIT_USAGE
     injector = None
     if args.inject:
         if "list" in args.inject:
@@ -975,7 +1034,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                                      metrics_json=args.metrics_json,
                                      gantt=args.gantt,
                                      profile_out=args.profile,
-                                     profile_interval=args.profile_interval)
+                                     profile_interval=args.profile_interval,
+                                     sample=sample)
         if args.telemetry_json:
             with open(args.telemetry_json, "w", encoding="utf-8") as fh:
                 json.dump(runner.telemetry.to_dict(), fh, indent=2,

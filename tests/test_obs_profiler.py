@@ -97,6 +97,40 @@ class TestCycleProfiler:
         assert "_profiler" not in InOrderSimulator._SNAPSHOT_FIELDS
         assert "_prof_next" not in InOrderSimulator._SNAPSHOT_FIELDS
 
+    @pytest.mark.parametrize("model", ["inorder", "ooo"])
+    def test_attach_before_restore_survives_kill_resume(self, model):
+        # SIGKILL-resume cadence: a supervisor restarts a profiled run
+        # by building a fresh simulator, attaching the profiler, and
+        # THEN restoring the checkpoint.  attach_profiler on a pristine
+        # simulator arms `_prof_next` at cycle 0; without restore()
+        # renormalising it, the first run-loop check (`now >=
+        # _prof_next`) at the checkpoint's mid-run clock fired a sample
+        # storm (or, on a stale far-future sentinel, never sampled
+        # again).  Statistics must stay byte-identical and the profiler
+        # must keep sampling after resume.
+        import pickle
+        from repro.obs.profiler import CycleProfiler as Prof
+
+        reference = _fresh_sim(model)
+        reference.run()
+
+        victim = _fresh_sim(model)
+        victim.attach_profiler(Prof(interval=256))
+        snaps = []
+        victim.run(checkpoint_every=500,
+                   on_checkpoint=lambda sim:
+                   snaps.append(pickle.dumps(sim.snapshot()))
+                   if not snaps else None)
+        assert snaps, "run too short to checkpoint"
+
+        resumed = _fresh_sim(model)
+        profiler = Prof(interval=256)
+        resumed.attach_profiler(profiler)   # attach BEFORE restore
+        resumed.restore(pickle.loads(snaps[0]))
+        resumed.run()
+        assert resumed.stats.to_dict() == reference.stats.to_dict()
+        assert profiler.samples > 0, "profiler went dead after resume"
+
     def test_interval_must_be_positive(self):
         with pytest.raises(ValueError):
             CycleProfiler(interval=0)

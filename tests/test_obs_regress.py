@@ -83,6 +83,40 @@ class TestCompareGate:
             regress.compare(_record(1000.0), _record(1000.0)))
         assert "gate: PASS" in passing
 
+    def test_stale_baseline_fails_the_gate(self):
+        # A zeroed cps_median carries no throughput signal: relative
+        # drops are undefined against it, so before the stale verdict a
+        # total stall (new_cps ~ 0 too) sailed through as "ok".
+        result = regress.compare(_record(0.0), _record(0.0))
+        assert not result["ok"]
+        assert result["stale"] == 1 and result["regressions"] == 0
+        assert result["rows"][0]["verdict"] == "stale"
+        text = regress.render_compare(result)
+        assert "stale" in text and "re-pin" in text
+        assert "gate: FAIL" in text and "stale baseline row(s)" in text
+        # A healthy baseline against a zeroed current is an ordinary
+        # (catastrophic) regression, not stale.
+        result = regress.compare(_record(1000.0), _record(0.0))
+        assert not result["ok"] and result["regressions"] == 1
+
+    def test_median_speedup_reported(self):
+        result = regress.compare(_record(1000.0), _record(3000.0))
+        assert result["median_speedup"] == pytest.approx(3.0)
+        assert "3.00x" in regress.render_compare(result)
+        # No comparable rows -> 0.0, never a crash.
+        assert regress.compare(_record(0.0),
+                               _record(500.0))["median_speedup"] == 0.0
+
+    def test_sample_counts_in_rows(self):
+        base = _record(1000.0)
+        base["workloads"]["mcf"]["n"] = 5
+        new = _record(1000.0)
+        new["workloads"]["mcf"]["n"] = 3
+        result = regress.compare(base, new)
+        row = result["rows"][0]
+        assert row["base_n"] == 5 and row["new_n"] == 3
+        assert "5/3" in regress.render_compare(result)
+
 
 class TestMeasure:
     def test_measure_shape_and_json_safety(self):
@@ -184,3 +218,37 @@ class TestCLIBench:
         assert main(["bench", "record", "health", "--k", "1"]) == 0
         assert not (tmp_path / regress.BASELINE_NAME).exists()
         assert (tmp_path / regress.LEDGER_NAME).exists()
+
+    def test_pin_with_k_below_three_is_usage_error(
+            self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        for k in ("1", "2"):
+            assert main(["bench", "record", "health", "--k", k,
+                         "--pin"]) == 2
+            err = capsys.readouterr().err
+            assert "cannot pin a baseline" in err
+            assert not (tmp_path / regress.BASELINE_NAME).exists()
+            # Rejected before measuring: nothing appended either.
+            assert not (tmp_path / regress.LEDGER_NAME).exists()
+
+    def test_k_below_three_without_pin_warns(
+            self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "record", "health", "--k", "1"]) == 0
+        assert "degenerate noise estimate" in capsys.readouterr().err
+
+    def test_assert_speedup_gate(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "record", "health", "--k", "3",
+                     "--pin"]) == 0
+        capsys.readouterr()
+        # An unchanged re-run is ~1x: a 100x assertion must fail even
+        # though the regression gate itself passes ...
+        assert main(["bench", "compare", "health", "--k", "3",
+                     "--no-ledger", "--assert-speedup", "100"]) == 1
+        captured = capsys.readouterr()
+        assert "below asserted" in captured.err
+        # ... and a trivial floor passes.
+        assert main(["bench", "compare", "health", "--k", "3",
+                     "--no-ledger", "--assert-speedup", "0.01"]) == 0
+        assert "asserted speedup met" in capsys.readouterr().out

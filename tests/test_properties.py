@@ -94,7 +94,8 @@ class TestCacheProperties:
         cache = CacheLevel(CacheConfig(2 * 64 * 2, 2, 1))  # 2 sets, 2 ways
         for line in lines:
             cache.insert(line)
-        for s in cache._sets:
+        # _sets is a lazy dict of set-index -> {line: None}.
+        for s in cache._sets.values():
             assert len(s) <= 2
 
 
