@@ -47,6 +47,22 @@ SITES: Dict[str, str] = {
         "a supervised worker stops heartbeating (watchdog kill/retry path)",
     "worker.oom":
         "a supervised worker dies of memory exhaustion (MemoryError)",
+    # -- service-plane sites (fleet chaos) -------------------------------
+    "queue.lease.corrupt":
+        "a freshly-acquired lease file is overwritten with garbage bytes",
+    "queue.steal.race":
+        "a worker loses the stale-lease steal election to a phantom rival",
+    "worker.crash":
+        "a service worker dies abruptly (SIGKILL-style) while holding a "
+        "lease",
+    "worker.summary.torn":
+        "a worker summary JSON is half-written (no atomic rename)",
+    "backend.put.partial":
+        "a backend result write is torn mid-put (partial entry at the "
+        "final path)",
+    "backend.read.ioerror":
+        "a backend read fails with a transient I/O error (served as a "
+        "miss)",
 }
 
 
@@ -102,6 +118,12 @@ class FaultInjector:
             site: random.Random(f"{seed}:{site}") for site in self.plan}
         #: site -> number of times it has fired so far.
         self.fired: Dict[str, int] = {site: 0 for site in self.plan}
+        #: site -> number of times the code under test *detected and
+        #: recovered from* an injected failure (quarantined a torn
+        #: entry, stole a dead worker's lease, skipped a torn summary).
+        #: injected vs. recovered is the chaos scorecard: every armed
+        #: site should converge toward recovered == fired.
+        self.recovered: Dict[str, int] = {site: 0 for site in self.plan}
 
     def fires(self, site: str) -> bool:
         """Decide (and record) whether ``site`` fires on this consult."""
@@ -119,6 +141,23 @@ class FaultInjector:
         """Raise :class:`InjectedFault` if ``site`` fires."""
         if self.fires(site):
             raise InjectedFault(site)
+
+    def record_recovery(self, site: str) -> None:
+        """Count one detected-and-recovered failure at an armed site."""
+        if site in self.plan:
+            self.recovered[site] = self.recovered.get(site, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe injected/recovered scorecard for summaries/reports."""
+        return {
+            "seed": self.seed,
+            "plan": {site: {"prob": spec.prob, "times": spec.times}
+                     for site, spec in sorted(self.plan.items())},
+            "injected": {site: count for site, count
+                         in sorted(self.fired.items())},
+            "recovered": {site: count for site, count
+                          in sorted(self.recovered.items())},
+        }
 
 
 #: The process-wide injector (None = injection disabled).  Forked runner
@@ -150,6 +189,22 @@ def check(site: str) -> None:
     """Raise :class:`InjectedFault` if the active injector fires ``site``."""
     if _ACTIVE is not None:
         _ACTIVE.check(site)
+
+
+def record_recovery(site: str) -> None:
+    """Count a detected-and-recovered failure when ``site`` is armed.
+
+    Recovery paths (quarantine, lease steal, skip-and-count) call this
+    unconditionally; it is a no-op unless the site is in the active
+    plan, so production runs pay a single None test.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.record_recovery(site)
+
+
+def snapshot() -> Optional[Dict[str, object]]:
+    """The active injector's injected/recovered scorecard, or None."""
+    return _ACTIVE.snapshot() if _ACTIVE is not None else None
 
 
 def sync_fired(site: str, count: int) -> None:

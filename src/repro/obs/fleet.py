@@ -17,10 +17,12 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..guard import faultinject
 
 #: Schema version of the fleet document.
-FLEET_SCHEMA = 1
+FLEET_SCHEMA = 2
 
 
 def _read_json(path: Path) -> Optional[Dict[str, Any]]:
@@ -30,14 +32,23 @@ def _read_json(path: Path) -> Optional[Dict[str, Any]]:
         return None
 
 
-def _worker_rows(root: Path, now: float) -> List[Dict[str, Any]]:
+def _worker_rows(root: Path,
+                 now: float) -> Tuple[List[Dict[str, Any]], int]:
+    """(rows, torn) — torn counts summaries that exist but do not parse
+    (a worker died mid-write before the summaries were crash-safe, or
+    the ``worker.summary.torn`` chaos site fired).  Torn summaries are
+    skipped-and-counted, never raised on: one sick worker must not
+    blind the whole fleet view."""
     rows: List[Dict[str, Any]] = []
+    torn = 0
     workers_dir = root / "workers"
     if not workers_dir.is_dir():
-        return rows
+        return rows, torn
     for path in sorted(workers_dir.glob("*.json")):
         summary = _read_json(path)
         if summary is None:
+            torn += 1
+            faultinject.record_recovery("worker.summary.torn")
             continue
         started = float(summary.get("started") or 0.0)
         finished = float(summary.get("finished") or 0.0)
@@ -53,12 +64,30 @@ def _worker_rows(root: Path, now: float) -> List[Dict[str, Any]]:
             "failures": int(summary.get("failures") or 0),
             "requeues": int(summary.get("requeues") or 0),
             "stolen_leases": int(summary.get("stolen_leases") or 0),
+            "degraded": int(summary.get("degraded") or 0),
+            "ladder": summary.get("ladder") or {},
+            "resumes": int(summary.get("resumes") or 0),
+            "checkpoints": int(summary.get("checkpoints") or 0),
             "wall_time": wall,
             "throughput": jobs / wall if wall > 0 else 0.0,
             "age": max(now - finished, 0.0) if finished else None,
             "backend": summary.get("backend") or {},
+            "faults": summary.get("faults") or {},
         })
-    return rows
+    return rows, torn
+
+
+def _fold_faults(workers: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-site injected/recovered totals across the worker summaries."""
+    sites: Dict[str, Dict[str, int]] = {}
+    for w in workers:
+        faults = w.get("faults") or {}
+        for bucket in ("injected", "recovered"):
+            for site, count in (faults.get(bucket) or {}).items():
+                row = sites.setdefault(site,
+                                       {"injected": 0, "recovered": 0})
+                row[bucket] += int(count)
+    return sites
 
 
 def _queue_state(config, now: float) -> Dict[str, Any]:
@@ -99,7 +128,7 @@ def collect_fleet(root=None, config=None,
     if config is None:
         config = ServiceConfig.resolve(root)
     now = time.time() if now is None else now
-    workers = _worker_rows(config.root, now)
+    workers, torn = _worker_rows(config.root, now)
     queue = _queue_state(config, now)
 
     executed = sum(w["executed"] for w in workers)
@@ -108,16 +137,21 @@ def collect_fleet(root=None, config=None,
     wall = max((w["wall_time"] for w in workers), default=0.0)
     totals: Dict[str, Any] = {
         "workers": len(workers),
+        "torn_summaries": torn,
         "executed": executed,
         "deduped": deduped,
         "failures": sum(w["failures"] for w in workers),
         "requeues": sum(w["requeues"] for w in workers),
         "stolen_leases": sum(w["stolen_leases"] for w in workers),
+        "degraded": sum(w["degraded"] for w in workers),
+        "resumes": sum(w["resumes"] for w in workers),
+        "checkpoints": sum(w["checkpoints"] for w in workers),
         "dedupe_rate": deduped / jobs if jobs else 0.0,
         # Fleet throughput over the longest worker session — the
         # sessions overlap, so summing per-worker rates would flatter.
         "throughput": jobs / wall if wall > 0 else 0.0,
     }
+    faults = _fold_faults(workers)
 
     backend = config.make_backend()
     counters = backend.counters_snapshot()
@@ -136,7 +170,7 @@ def collect_fleet(root=None, config=None,
     if counters.get("shards"):
         backend_doc["shards"] = counters["shards"]
 
-    return {
+    doc: Dict[str, Any] = {
         "schema": FLEET_SCHEMA,
         "root": str(config.root),
         "collected": now,
@@ -145,6 +179,9 @@ def collect_fleet(root=None, config=None,
         "queue": queue,
         "backend": backend_doc,
     }
+    if faults:
+        doc["faults"] = faults
+    return doc
 
 
 # -- rendering ---------------------------------------------------------------------
@@ -165,19 +202,37 @@ def fleet_summary_lines(doc: Dict[str, Any]) -> List[str]:
     totals = doc.get("totals") or {}
     queue = doc.get("queue") or {}
     backend = doc.get("backend") or {}
-    lines = [f"fleet @ {doc.get('root', '?')}: "
-             f"{totals.get('workers', 0)} worker(s), "
-             f"{totals.get('executed', 0)} executed, "
-             f"{totals.get('deduped', 0)} deduped "
-             f"({100 * totals.get('dedupe_rate', 0.0):.0f}%), "
-             f"{totals.get('failures', 0)} failed"]
-    lines.append(f"queue: {queue.get('pending', 0)} pending, "
-                 f"{queue.get('leased', 0)} leased "
-                 f"({queue.get('stale_leases', 0)} stale), "
-                 f"{queue.get('done', 0)} done, "
-                 f"{queue.get('failed', 0)} failed; oldest lease "
-                 f"{_age(queue.get('oldest_lease_age'))}, oldest pending "
-                 f"{_age(queue.get('oldest_pending_age'))}")
+    head = (f"fleet @ {doc.get('root', '?')}: "
+            f"{totals.get('workers', 0)} worker(s), "
+            f"{totals.get('executed', 0)} executed, "
+            f"{totals.get('deduped', 0)} deduped "
+            f"({100 * totals.get('dedupe_rate', 0.0):.0f}%), "
+            f"{totals.get('failures', 0)} failed")
+    if totals.get("degraded"):
+        head += f", {totals['degraded']} degraded"
+    if totals.get("resumes"):
+        head += f", {totals['resumes']} resumed"
+    if totals.get("torn_summaries"):
+        head += f" [{totals['torn_summaries']} torn summary(ies) skipped]"
+    lines = [head]
+    queue_line = (f"queue: {queue.get('pending', 0)} pending, "
+                  f"{queue.get('leased', 0)} leased "
+                  f"({queue.get('stale_leases', 0)} stale), "
+                  f"{queue.get('done', 0)} done, "
+                  f"{queue.get('failed', 0)} failed")
+    if queue.get("poisoned"):
+        queue_line += f", {queue['poisoned']} POISONED"
+    queue_line += (f"; oldest lease "
+                   f"{_age(queue.get('oldest_lease_age'))}, "
+                   f"oldest pending "
+                   f"{_age(queue.get('oldest_pending_age'))}")
+    lines.append(queue_line)
+    faults = doc.get("faults") or {}
+    if faults:
+        parts = [f"{site}={row.get('injected', 0)}/"
+                 f"{row.get('recovered', 0)}"
+                 for site, row in sorted(faults.items())]
+        lines.append("faults (injected/recovered): " + "  ".join(parts))
     parts = [f"kind={backend.get('kind', '?')}"]
     if backend.get("shards"):
         parts.append(f"shards={backend['shards']}")
@@ -196,8 +251,8 @@ def render_fleet(doc: Dict[str, Any]) -> str:
     if workers:
         lines.append("")
         header = (f"{'worker':<28} {'exec':>5} {'dedup':>5} {'fail':>4} "
-                  f"{'requeue':>7} {'stolen':>6} {'jobs/s':>7} "
-                  f"{'wall':>7} {'seen':>5}")
+                  f"{'requeue':>7} {'stolen':>6} {'degr':>4} "
+                  f"{'resume':>6} {'jobs/s':>7} {'wall':>7} {'seen':>5}")
         lines.append(header)
         lines.append("-" * len(header))
         ordered = sorted(workers, key=lambda w: w.get("throughput", 0.0),
@@ -208,6 +263,8 @@ def render_fleet(doc: Dict[str, Any]) -> str:
                 f"{w.get('executed', 0):>5} {w.get('deduped', 0):>5} "
                 f"{w.get('failures', 0):>4} {w.get('requeues', 0):>7} "
                 f"{w.get('stolen_leases', 0):>6} "
+                f"{w.get('degraded', 0):>4} "
+                f"{w.get('resumes', 0):>6} "
                 f"{w.get('throughput', 0.0):>7.2f} "
                 f"{w.get('wall_time', 0.0):>6.1f}s "
                 f"{_age(w.get('age')):>5}")

@@ -13,9 +13,14 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import time
 from pathlib import Path
 from typing import Dict, Optional
+
+#: Cached once: the host tag lets a reader decide whether the writer's
+#: pid is probeable (same host) or opaque (over a shared filesystem).
+_HOSTNAME = socket.gethostname()
 
 
 class Heartbeat:
@@ -26,7 +31,8 @@ class Heartbeat:
 
     def beat(self, *, cycle: Optional[int] = None,
              stage: Optional[str] = None) -> None:
-        payload = {"pid": os.getpid(), "time": time.time()}
+        payload = {"pid": os.getpid(), "host": _HOSTNAME,
+                   "time": time.time()}
         if cycle is not None:
             payload["cycle"] = int(cycle)
         if stage is not None:

@@ -129,6 +129,14 @@ class ResultCache:
         """
         path = self._path(spec)
         self._maybe_inject_corruption(path)
+        if path.exists() and faultinject.fires("backend.read.ioerror"):
+            # Chaos: a transient read I/O error, served as a miss.  The
+            # caller re-simulates (or another worker's entry wins the
+            # content-addressed race) — that degradation *is* the
+            # recovery, so it is recorded here.
+            faultinject.record_recovery("backend.read.ioerror")
+            self.counters.misses += 1
+            return None
         if not path.exists():
             self.counters.misses += 1
             return None
@@ -158,6 +166,12 @@ class ResultCache:
         except OSError:  # pragma: no cover - racing delete
             return None
         self.counters.quarantines += 1
+        # Quarantine is the designed recovery for every torn/corrupt
+        # entry; credit whichever corruption site is armed (no-ops
+        # otherwise).
+        for site in ("backend.put.partial", "cache.corrupt",
+                     "cache.truncate"):
+            faultinject.record_recovery(site)
         return bad
 
     def _maybe_inject_corruption(self, path: Path) -> None:
@@ -218,6 +232,18 @@ class ResultCache:
         }
         if metrics:
             entry["metrics"] = metrics
+        if faultinject.fires("backend.put.partial"):
+            # Chaos: a torn write lands half an entry at the *final*
+            # path (the failure the tmp+fsync+rename discipline exists
+            # to prevent).  The next read quarantines it as a miss and
+            # the result is re-simulated — detectable, recoverable,
+            # never silently served.
+            blob = json.dumps(entry, sort_keys=True)
+            with self._entry_lock(path):
+                path.write_text(blob[:max(1, len(blob) // 2)],
+                                encoding="utf-8")
+            self.counters.puts += 1
+            return path
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(entry, fh, sort_keys=True)

@@ -167,6 +167,12 @@ class WorkerTask:
     heartbeat_path: Optional[str] = None
     #: Write a checkpoint every N simulated cycles (None = never).
     checkpoint_every: Optional[int] = None
+    #: Root directory for checkpoints (None = the default
+    #: ``REPRO_CHECKPOINT_DIR`` / ``.repro-cache/checkpoints``).  The
+    #: service plane points this at ``<service-root>/checkpoints`` so a
+    #: lease stolen by a worker on another host finds the victim's
+    #: checkpoints over the shared filesystem.
+    checkpoint_root: Optional[str] = None
     #: Start from the newest intact on-disk checkpoint, if any.
     resume: bool = False
     #: Soft wall-clock budget (seconds), checked at checkpoint cadence.
@@ -239,7 +245,7 @@ def execute_task(task: WorkerTask) -> Dict[str, Any]:
     store: Optional[CheckpointStore] = None
     key = spec.content_hash()
     if task.checkpoint_every or task.resume:
-        store = CheckpointStore()
+        store = CheckpointStore(root=task.checkpoint_root)
 
     artifacts = artifacts_for(spec)
     program, heap_workload = artifacts.run_inputs(spec.variant)

@@ -31,6 +31,7 @@ from .backend import (
 from .client import ServiceClient, ServiceConfig, batch_id_for
 from .queue import (
     DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_POISON_THRESHOLD,
     DEFAULT_VISIBILITY_TIMEOUT,
     JobQueue,
     Lease,
@@ -45,6 +46,7 @@ __all__ = [
     "ENV_SERVICE_LOCAL_TIER",
     "JobQueue", "Lease", "default_worker_id",
     "DEFAULT_VISIBILITY_TIMEOUT", "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_POISON_THRESHOLD",
     "ServiceWorker",
     "ServiceClient", "ServiceConfig", "batch_id_for",
 ]

@@ -42,6 +42,7 @@ from .backend import (
 )
 from .queue import (
     DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_POISON_THRESHOLD,
     DEFAULT_VISIBILITY_TIMEOUT,
     JobQueue,
 )
@@ -62,8 +63,15 @@ class ServiceConfig:
     local_tier: Optional[Path] = None
     visibility_timeout: float = DEFAULT_VISIBILITY_TIMEOUT
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
-    #: Client poll cadence while waiting on a batch.
+    #: Lease steals before the queue quarantines a job as poison.
+    poison_threshold: int = DEFAULT_POISON_THRESHOLD
+    #: Client poll cadence while waiting on a batch: the *base* of a
+    #: bounded exponential backoff (idle polls double the sleep up to
+    #: ``poll_max``, with deterministic batch-hash jitter so a thousand
+    #: waiting clients never thunder in phase).
     poll: float = 0.05
+    #: Ceiling of the idle-poll backoff.
+    poll_max: float = 2.0
     #: Whether a waiting client also works the queue (recommended: a
     #: lone client then never deadlocks waiting for absent workers).
     inline_worker: bool = True
@@ -98,7 +106,8 @@ class ServiceConfig:
     def make_queue(self) -> JobQueue:
         return JobQueue(self.root,
                         visibility_timeout=self.visibility_timeout,
-                        max_attempts=self.max_attempts)
+                        max_attempts=self.max_attempts,
+                        poison_threshold=self.poison_threshold)
 
 
 def batch_id_for(hashes: Sequence[str]) -> str:
@@ -174,27 +183,58 @@ class ServiceClient:
     # -- status ----------------------------------------------------------------------
 
     def status(self, batch_id: str) -> Dict:
-        """Per-batch progress: done/failed/running/queued/missing."""
+        """Per-batch progress: done/failed/poisoned/running/queued/
+        lost/missing.
+
+        ``poisoned`` jobs are terminal (the batch completes around
+        them, reported as failures with their quarantine diagnostic).
+        ``lost`` flags a done record whose backend entry did not
+        survive (torn put, eviction) — the wait loop resubmits those.
+        """
         manifest = self.load_batch(batch_id)
         states: Dict[str, str] = {}
         for spec in self._batch_specs(manifest):
             digest = spec.content_hash()
             if self.backend.get(spec) is not None:
                 states[digest] = "done"
-            else:
-                states[digest] = self.queue.state_of(digest)
+                continue
+            state = self.queue.state_of(digest)
+            if state == "done" and not self._locate_done(spec):
+                # The queue says finished but no result survives
+                # anywhere (not even under a degraded hash): the write
+                # was torn or the entry evicted.  at-least-once covers
+                # this too — resubmission, not a hang.
+                state = "lost"
+            states[digest] = state
         counts = {state: 0 for state in
-                  ("done", "failed", "running", "queued", "missing")}
+                  ("done", "failed", "poisoned", "running", "queued",
+                   "lost", "missing")}
         for state in states.values():
             counts[state] = counts.get(state, 0) + 1
         total = len(states)
+        terminal = counts["done"] + counts["failed"] + counts["poisoned"]
         return {
             "batch": batch_id,
             "total": total,
             **counts,
-            "complete": counts["done"] + counts["failed"] >= total,
+            "complete": terminal >= total,
             "states": states,
         }
+
+    def _locate_done(self, spec: RunSpec) -> Optional[Dict]:
+        """The surviving backend entry behind an ok done record — under
+        the spec's own hash, or the executed (degraded) spec's hash the
+        record redirects to.  None = the result is lost."""
+        record = self.queue.read_done(spec.content_hash())
+        if record is None or not record.get("ok"):
+            return None
+        entry = self.backend.get(spec)
+        if entry is not None:
+            return entry
+        executed_key = record.get("executed_spec")
+        if record.get("executed_hash") and executed_key:
+            return self.backend.get(RunSpec.from_key(executed_key))
+        return None
 
     # -- fetch -----------------------------------------------------------------------
 
@@ -222,23 +262,65 @@ class ServiceClient:
     def _result_for(self, spec: RunSpec,
                     executed_locally: Optional[set] = None
                     ) -> Optional[RunResult]:
-        """A terminal RunResult for one spec, or None while in flight."""
+        """A terminal RunResult for one spec, or None while in flight.
+
+        A done record may redirect to a *degraded* spec (the ladder ran
+        on a worker): the result then comes from the degraded hash,
+        honestly labelled through its metrics' ``resilience`` rung.  A
+        poisoned job surfaces as a terminal failure carrying the
+        quarantine diagnostic — never a hang.
+        """
+        digest = spec.content_hash()
+        cached = (executed_locally is None
+                  or digest not in executed_locally)
         entry = self.backend.get(spec)
+        if entry is None:
+            entry = self._locate_done(spec)
         if entry is not None:
-            cached = (executed_locally is None
-                      or spec.content_hash() not in executed_locally)
             return RunResult(
                 spec, stats=SimStats.from_dict(entry["stats"]),
                 cached=cached, wall_time=entry.get("wall_time", 0.0),
                 stats_dict=entry["stats"],
                 metrics=entry.get("metrics") or {})
-        record = self.queue.read_done(spec.content_hash())
+        record = self.queue.read_done(digest)
         if record is not None and not record.get("ok"):
             return RunResult(spec, attempts=record.get("attempts", 1),
                              error=record.get("error", "failed"))
+        poisoned = self.queue.read_poisoned(digest)
+        if poisoned is not None:
+            detail = (poisoned.get("last_error")
+                      or "every worker died or wedged mid-job")
+            return RunResult(
+                spec, attempts=int(poisoned.get("attempts") or 0),
+                error=f"poisoned after {poisoned.get('steals', 0)} "
+                      f"lease steal(s): {detail}",
+                metrics={"poisoned": poisoned})
         return None
 
     # -- wait / synchronous driving --------------------------------------------------
+
+    def _poll_delay(self, idle_rounds: int, key: str) -> float:
+        """Bounded exponential backoff with deterministic hash jitter.
+
+        Idle polls double the sleep from ``config.poll`` up to
+        ``config.poll_max``.  The jitter in [0, 0.5) of the delay is a
+        pure function of ``(key, round)`` — the batch id is itself a
+        digest of the member spec hashes, so a fleet of clients waiting
+        on *different* batches desynchronises while a replay of the
+        same batch sleeps identically (chaos runs stay reproducible).
+        """
+        base = max(self.config.poll, 1e-4)
+        delay = min(self.config.poll_max,
+                    base * (2 ** min(idle_rounds, 16)))
+        digest = hashlib.sha256(f"{key}:{idle_rounds}".encode()).digest()
+        jitter = int.from_bytes(digest[:4], "big") / 2 ** 33
+        return delay * (1.0 + jitter)
+
+    @staticmethod
+    def _progress_fingerprint(state: Dict) -> tuple:
+        return (state.get("done", 0), state.get("failed", 0),
+                state.get("poisoned", 0), state.get("running", 0),
+                state.get("queued", 0))
 
     def wait(self, batch_id: str, timeout: Optional[float] = None,
              task_fn: Callable[..., Dict] = execute_spec,
@@ -248,7 +330,10 @@ class ServiceClient:
 
         With ``inline_worker`` (default: the config's setting) the
         waiting client claims and executes jobs itself, preferring the
-        batch's own hashes.  Returns the final :meth:`status` dict.
+        batch's own hashes.  Returns the final :meth:`status` dict —
+        poisoned jobs count as terminal, so a poisoned batch returns
+        (with ``status["poisoned"] > 0``) rather than hanging.  Idle
+        polls back off exponentially (:meth:`_poll_delay`).
         """
         manifest = self.load_batch(batch_id)
         hashes = set(manifest["hashes"])
@@ -259,6 +344,8 @@ class ServiceClient:
                   if inline else None)
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
+        idle_rounds = 0
+        last_fingerprint: Optional[tuple] = None
         while True:
             state = self.status(batch_id)
             if state["complete"]:
@@ -267,19 +354,30 @@ class ServiceClient:
             if worker is not None:
                 progressed = worker.step(prefer=hashes) is not None
             self._heal_missing(state, manifest)
+            fingerprint = self._progress_fingerprint(state)
+            if fingerprint != last_fingerprint:
+                progressed = True
+                last_fingerprint = fingerprint
             if deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(
                     f"batch {batch_id} incomplete after {timeout}s: "
                     f"{state['done']}/{state['total']} done")
-            if not progressed:
-                time.sleep(self.config.poll)
+            if progressed:
+                idle_rounds = 0
+            else:
+                time.sleep(self._poll_delay(idle_rounds, batch_id))
+                idle_rounds += 1
 
     def _heal_missing(self, state: Dict, manifest: Dict) -> None:
-        """Resubmit jobs that fell through every crack (evicted result
-        + lost pending file): at-least-once includes losing races."""
-        if state.get("missing"):
+        """Resubmit jobs that fell through every crack: a ``missing``
+        job lost both its result and its pending file, a ``lost`` one
+        finished but its backend entry did not survive (torn put,
+        eviction).  at-least-once includes losing races — and losing
+        writes."""
+        if state.get("missing") or state.get("lost"):
             for spec in self._batch_specs(manifest):
-                if state["states"].get(spec.content_hash()) == "missing":
+                if state["states"].get(spec.content_hash()) in (
+                        "missing", "lost"):
                     self.queue.resubmit(spec)
 
     def run_batch(self, specs: Sequence[RunSpec], telemetry=None,
@@ -306,6 +404,7 @@ class ServiceClient:
         recorded: set = set()
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
+        idle_rounds = 0
         while remaining:
             progressed = False
             executed = worker.executed_hashes if worker else set()
@@ -339,5 +438,8 @@ class ServiceClient:
             if not progressed:
                 status = self.status(batch_id)
                 self._heal_missing(status, manifest)
-                time.sleep(self.config.poll)
+                time.sleep(self._poll_delay(idle_rounds, batch_id))
+                idle_rounds += 1
+            else:
+                idle_rounds = 0
         return [results[digest] for digest in unique]

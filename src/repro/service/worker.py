@@ -14,11 +14,28 @@ loop per job is:
    watchdog fed keeps the lease visible as live — and write the result
    through the backend before retiring the job.
 
+With a :class:`~repro.resilience.supervisor.ResilienceConfig` the
+worker applies the single-machine supervisor's discipline at fleet
+scope:
+
+* **checkpoint/resume** — checkpoints land under
+  ``<service-root>/checkpoints`` (shared, like everything else under
+  the root), and a stolen or retried lease resumes from the previous
+  owner's newest intact checkpoint, so a SIGKILL mid-job costs the
+  fleet only the cycles since the last checkpoint and still lands on
+  byte-identical SimStats;
+* **degradation ladder** — a budget/OOM blowout walks the job down
+  full → basic → top1 → unadapted *inside the lease*.  A degraded
+  result is cached under the degraded spec's own content hash (it
+  never masquerades as the full-capability result); the done record
+  publishes the rung and the executed spec so clients can follow the
+  redirect.
+
 Run one worker per core per host; any number of hosts sharing the
 service root cooperate through the same queue.  A worker crash merely
-lets its lease go stale; the job is re-executed elsewhere
-(at-least-once), and content addressing makes the duplicate write
-byte-identical.
+lets its lease go stale (or its pid be probed as dead); the job is
+re-executed elsewhere (at-least-once), and content addressing makes
+the duplicate write byte-identical.
 """
 
 from __future__ import annotations
@@ -26,12 +43,26 @@ from __future__ import annotations
 import json
 import os
 import time
+import traceback
 from pathlib import Path
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set, Tuple
 
+from ..guard import faultinject
+from ..resilience.ladder import STEP_FULL, degrade_spec, ladder_steps
+from ..resilience.supervisor import (
+    _BUDGET_KINDS,
+    ResilienceConfig,
+    classify_failure,
+)
+from ..runner.spec import RunSpec
 from ..runner.worker import WorkerTask, execute_spec, execute_task
 from .backend import CacheBackend
 from .queue import JobQueue, Lease, default_worker_id
+
+#: Exit status of a ``worker.crash`` chaos death (``os._exit`` — no
+#: cleanup, no summary, the lease left dangling; as close to SIGKILL as
+#: a site can self-inflict).
+CRASH_EXIT_STATUS = 23
 
 
 class ServiceWorker:
@@ -40,7 +71,8 @@ class ServiceWorker:
     def __init__(self, queue: JobQueue, backend: CacheBackend,
                  task_fn: Callable[..., Dict] = execute_spec,
                  telemetry=None,
-                 worker_id: Optional[str] = None):
+                 worker_id: Optional[str] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         """
         Args:
             queue: the shared job queue.
@@ -57,12 +89,19 @@ class ServiceWorker:
                 which knows whose batch they saved).
             worker_id: stable tag for lease/done records; defaults to
                 ``<hostname>-<pid>``.
+            resilience: per-job supervisor discipline (checkpoint
+                cadence, resume, wall-clock/RSS budgets, ladder
+                descent).  None = execute plainly, as before.
         """
         self.queue = queue
         self.backend = backend
         self.task_fn = task_fn
         self.telemetry = telemetry
         self.worker_id = worker_id or default_worker_id()
+        self.resilience = resilience
+        #: Shared checkpoint namespace: stolen leases resume from the
+        #: victim's checkpoints through the same service root.
+        self.checkpoint_root = Path(queue.root) / "checkpoints"
         self.started = time.time()
         # Counters mirrored into the summary file for cross-process
         # assertions ("exactly one simulation per unique spec hash").
@@ -71,6 +110,12 @@ class ServiceWorker:
         self.failures = 0
         self.requeues = 0
         self.stolen = 0
+        self.degraded = 0
+        self.resumes = 0
+        self.checkpoints = 0
+        #: step -> count of jobs that completed at that ladder rung
+        #: (full-capability completions are not recorded here).
+        self.ladder: Dict[str, int] = {}
         #: Hashes this worker itself simulated / terminally failed —
         #: the batch client uses these to avoid double-counting
         #: telemetry for results it harvests.
@@ -90,6 +135,11 @@ class ServiceWorker:
 
     def _process(self, lease: Lease) -> str:
         spec, digest = lease.spec, lease.hash
+        if faultinject.fires("worker.crash"):
+            # Chaos: die holding the lease, before any work lands.
+            # Recovery is the dead-pid probe / visibility timeout: some
+            # other worker steals the lease and re-executes.
+            os._exit(CRASH_EXIT_STATUS)
         entry = self.backend.get(spec)
         if entry is not None:
             self.deduped += 1
@@ -100,10 +150,14 @@ class ServiceWorker:
         if self.telemetry is not None:
             self.telemetry.record_launch(spec.label())
         try:
-            payload = self._execute(spec, lease)
+            payload, executed_spec, step = self._execute(spec, lease)
         except Exception as exc:  # noqa: BLE001 - routed to the queue
             message = f"{type(exc).__name__}: {exc}"
-            requeued = lease.fail(message, worker=self.worker_id)
+            fault_site = (exc.site if isinstance(
+                exc, faultinject.InjectedFault) else None)
+            requeued = lease.fail(
+                message, worker=self.worker_id, fault_site=fault_site,
+                traceback_text=traceback.format_exc(limit=8))
             if requeued:
                 self.requeues += 1
             else:
@@ -114,10 +168,43 @@ class ServiceWorker:
                                                   lease.attempt)
             return digest
         wall = payload.get("wall_time", 0.0)
-        self.backend.put(spec, payload["stats"], wall,
-                         metrics=payload.get("metrics"))
+        res_record = payload.get("resilience") or {}
+        self.checkpoints += int(res_record.get("checkpoints") or 0)
+        resumed_from = res_record.get("resumed_from_cycle")
+        if resumed_from is not None:
+            self.resumes += 1
+            if self.telemetry is not None:
+                self.telemetry.record_resume(spec.label(), resumed_from)
+        metrics = dict(payload.get("metrics") or {})
+        meta: Optional[Dict] = None
+        if step != STEP_FULL:
+            # Same convention as Runner._run_supervised: the rung rides
+            # in the cached metrics, and (because the degraded result
+            # lives under its own content hash) the done record carries
+            # the redirect clients need to find it.
+            self.degraded += 1
+            self.ladder[step] = self.ladder.get(step, 0) + 1
+            resilience_meta = {"ladder_step": step}
+            if res_record.get("reasons"):
+                resilience_meta["reasons"] = list(res_record["reasons"])
+            metrics["resilience"] = resilience_meta
+            meta = {
+                "ladder_step": step,
+                "executed_spec": executed_spec.key(),
+                "executed_hash": executed_spec.content_hash(),
+            }
+        if resumed_from is not None:
+            meta = dict(meta or {})
+            meta["resumed_from_cycle"] = resumed_from
+        self.backend.put(executed_spec, payload["stats"], wall,
+                         metrics=metrics or None)
+        if faultinject.fires("worker.crash"):
+            # Chaos, late flavour: die after the backend put but before
+            # the done record.  Recovery: the next claimer's backend
+            # lookup hits, and the job completes as a dedupe.
+            os._exit(CRASH_EXIT_STATUS)
         lease.complete(executed=True, wall_time=wall,
-                       worker=self.worker_id)
+                       worker=self.worker_id, meta=meta)
         self.executed += 1
         self.executed_hashes.add(digest)
         if self.telemetry is not None:
@@ -125,17 +212,57 @@ class ServiceWorker:
                                            lease.attempt, digest)
         return digest
 
-    def _execute(self, spec, lease: Lease) -> Dict:
-        if self.task_fn is execute_spec:
-            # The lease file doubles as the heartbeat file: the worker's
-            # periodic beats (resilience machinery, every checkpoint /
-            # progress cadence) are exactly what keeps the lease from
-            # being stolen mid-simulation.
-            return execute_task(WorkerTask(spec=spec,
-                                           attempt=lease.attempt,
-                                           heartbeat_path=str(lease.path)))
-        lease.beat(stage="execute")
-        return self.task_fn(spec)
+    def _execute(self, spec: RunSpec,
+                 lease: Lease) -> Tuple[Dict, RunSpec, str]:
+        """One supervised execution: (payload, executed spec, rung)."""
+        if self.task_fn is not execute_spec:
+            lease.beat(stage="execute")
+            return self.task_fn(spec), spec, STEP_FULL
+        cfg = self.resilience
+        # The lease file doubles as the heartbeat file: the worker's
+        # periodic beats (every checkpoint / progress cadence) are
+        # exactly what keeps the lease from being stolen mid-simulation.
+        if cfg is None:
+            payload = execute_task(WorkerTask(
+                spec=spec, attempt=lease.attempt,
+                heartbeat_path=str(lease.path)))
+            return payload, spec, STEP_FULL
+        checkpointing = bool(cfg.checkpoint_every)
+        # A stolen or retried lease means a previous owner may have left
+        # checkpoints behind — resume rather than restart.
+        resume = checkpointing and (cfg.resume or lease.stolen
+                                    or lease.attempt > 1)
+        steps = ladder_steps(spec)
+        reasons: list = []
+        for idx, step in enumerate(steps):
+            executed_spec = degrade_spec(spec, step)
+            try:
+                payload = execute_task(WorkerTask(
+                    spec=executed_spec, attempt=lease.attempt,
+                    heartbeat_path=str(lease.path),
+                    checkpoint_every=cfg.checkpoint_every,
+                    checkpoint_root=(str(self.checkpoint_root)
+                                     if checkpointing else None),
+                    resume=resume,
+                    deadline=cfg.deadline,
+                    rss_budget_mb=cfg.rss_budget_mb))
+            except Exception as exc:  # noqa: BLE001 - classified below
+                kind = classify_failure(exc)
+                if kind in _BUDGET_KINDS and idx + 1 < len(steps):
+                    # Resource pressure: the same capability level will
+                    # blow the same budget — descend the ladder now.
+                    reasons.append(f"{step}: {kind}: {exc}")
+                    if self.telemetry is not None:
+                        self.telemetry.record_degraded(
+                            spec.label(), steps[idx + 1], kind)
+                    lease.beat(stage=f"degrade:{steps[idx + 1]}")
+                    continue
+                raise
+            if reasons:
+                payload.setdefault("resilience", {})["reasons"] = reasons
+            return payload, executed_spec, step
+        raise RuntimeError(  # pragma: no cover - unreachable by design
+            f"{spec.label()}: degradation ladder exhausted")
 
     # -- the loop --------------------------------------------------------------------
 
@@ -170,7 +297,7 @@ class ServiceWorker:
     # -- summary ---------------------------------------------------------------------
 
     def summary(self) -> Dict:
-        return {
+        doc = {
             "worker": self.worker_id,
             "pid": os.getpid(),
             "started": self.started,
@@ -180,19 +307,42 @@ class ServiceWorker:
             "failures": self.failures,
             "requeues": self.requeues,
             "stolen_leases": self.stolen,
+            "degraded": self.degraded,
+            "ladder": dict(self.ladder),
+            "resumes": self.resumes,
+            "checkpoints": self.checkpoints,
             "backend": self.backend.counters_snapshot(),
         }
+        faults = faultinject.snapshot()
+        if faults is not None:
+            doc["faults"] = faults
+        return doc
 
     def write_summary(self, path: Optional[os.PathLike] = None) -> Path:
         """Persist the counters (default ``<root>/workers/<id>.json``)
-        so a multi-process run can audit who simulated what."""
+        so a multi-process run can audit who simulated what.
+
+        Crash-safe like :meth:`ResultCache.put`: private temp file,
+        flush + fsync, atomic rename — a reader (``collect_fleet``)
+        sees the old complete summary or the new one, never a torn one.
+        """
         if path is None:
             workers_dir = self.queue.root / "workers"
             workers_dir.mkdir(parents=True, exist_ok=True)
             path = workers_dir / f"{self.worker_id}.json"
         path = Path(path)
+        blob = json.dumps(self.summary(), sort_keys=True, indent=2)
+        if faultinject.fires("worker.summary.torn"):
+            # Chaos: a half-written summary at the final path (the
+            # pre-hardening failure mode).  collect_fleet must skip and
+            # count it, never raise.
+            path.write_text(blob[:max(1, len(blob) // 2)],
+                            encoding="utf-8")
+            return path
         tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(self.summary(), sort_keys=True,
-                                  indent=2), encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
         return path

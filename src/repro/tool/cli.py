@@ -101,12 +101,17 @@ from ..workloads import PAPER_ORDER, workload_names
 #: Exit codes.  0/1/2 keep their conventional meanings; 3 and 4 let
 #: scripts distinguish a run that *succeeded but degraded* (some loads
 #: dropped by the guard) from one where the semantic-equivalence check
-#: rolled the adaptation back.
+#: rolled the adaptation back.  5 and 6 are service-plane terminals: a
+#: batch with poison-quarantined jobs (workers kept dying on them) vs.
+#: a wait that blew its ``--deadline`` — operators page on the former
+#: and retry the latter.
 EXIT_OK = 0
 EXIT_FAILURE = 1
 EXIT_USAGE = 2
 EXIT_DEGRADED = 3
 EXIT_ROLLED_BACK = 4
+EXIT_POISONED = 5
+EXIT_DEADLINE = 6
 
 
 def _guard_exit_code(guard, base: int) -> int:
@@ -404,6 +409,11 @@ def _add_service_root_options(parser: argparse.ArgumentParser) -> None:
                         metavar="SECS",
                         help="seconds of lease silence before another "
                              "worker may steal an in-flight job")
+    parser.add_argument("--poison-threshold", type=int, default=None,
+                        metavar="N",
+                        help="lease steals before a job is quarantined "
+                             "to queue/poisoned/ instead of redelivered "
+                             "(default: 3)")
 
 
 def _service_config(args):
@@ -415,6 +425,8 @@ def _service_config(args):
         config.local_tier = Path(args.local_tier)
     if args.visibility_timeout is not None:
         config.visibility_timeout = args.visibility_timeout
+    if getattr(args, "poison_threshold", None) is not None:
+        config.poison_threshold = args.poison_threshold
     return config
 
 
@@ -427,11 +439,44 @@ def _service_specs(args) -> List[RunSpec]:
 
 
 def _print_batch_status(status: dict) -> None:
+    extras = "".join(
+        f", {status[key]} {label}"
+        for key, label in (("poisoned", "POISONED"), ("lost", "lost"),
+                           ("missing", "missing"))
+        if status.get(key))
     print(f"batch {status['batch']}: {status['done']}/{status['total']} "
           f"done, {status['failed']} failed, {status['running']} "
-          f"running, {status['queued']} queued"
-          + (f", {status['missing']} missing" if status["missing"]
-             else ""))
+          f"running, {status['queued']} queued" + extras)
+
+
+def _print_poisoned(client, status: dict) -> None:
+    """One diagnostic line per quarantined job in the batch."""
+    for digest, state in sorted(status.get("states", {}).items()):
+        if state != "poisoned":
+            continue
+        record = client.queue.read_poisoned(digest) or {}
+        detail = (record.get("last_error")
+                  or "every worker died or wedged mid-job")
+        print(f"  POISONED {record.get('label') or digest}: "
+              f"{record.get('steals', 0)} lease steal(s), last worker "
+              f"{record.get('last_worker') or '?'} — {detail}",
+              file=sys.stderr)
+
+
+def _wait_exit(client, batch_id: str, deadline, inline: bool) -> int:
+    """Shared wait path: EXIT_DEADLINE on timeout, EXIT_POISONED when
+    quarantined jobs made the batch terminal, else OK/FAILURE."""
+    try:
+        status = client.wait(batch_id, timeout=deadline,
+                             inline_worker=inline)
+    except TimeoutError as exc:
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE
+    _print_batch_status(status)
+    if status.get("poisoned"):
+        _print_poisoned(client, status)
+        return EXIT_POISONED
+    return EXIT_OK if not status.get("failed") else EXIT_FAILURE
 
 
 def _service_command(argv: List[str]) -> int:
@@ -456,7 +501,31 @@ def _service_command(argv: List[str]) -> int:
                           metavar="VARIANT",
                           help="variant to run per workload; repeat the "
                                "flag for several (default: ssp)")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the batch completes, running "
+                               "an inline worker; exit 0/1/5/6 per the "
+                               "batch outcome")
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          metavar="SECS",
+                          help="with --wait: give up after SECS and exit "
+                               f"{EXIT_DEADLINE} (distinct from the "
+                               f"poison exit {EXIT_POISONED})")
     _add_service_root_options(p_submit)
+
+    p_wait = sub.add_parser(
+        "wait", help="block until a batch completes; terminal exit codes "
+                     "distinguish failures, poison quarantine, and a "
+                     "blown deadline")
+    p_wait.add_argument("batch_id")
+    p_wait.add_argument("--deadline", type=float, default=None,
+                        metavar="SECS",
+                        help=f"give up after SECS with exit "
+                             f"{EXIT_DEADLINE}")
+    p_wait.add_argument("--no-worker", action="store_true",
+                        help="poll only; do not run an inline worker "
+                             "(rely on external 'service worker' "
+                             "processes)")
+    _add_service_root_options(p_wait)
 
     p_status = sub.add_parser("status", help="poll one batch")
     p_status.add_argument("batch_id")
@@ -479,6 +548,31 @@ def _service_command(argv: List[str]) -> int:
                           metavar="SECS",
                           help="linger SECS after the queue empties, "
                                "then exit (default: exit when starved)")
+    p_worker.add_argument("--checkpoint-every", type=int, default=None,
+                          metavar="CYCLES",
+                          help="checkpoint each job every CYCLES "
+                               "simulated cycles into the service root; "
+                               "stolen leases resume from the victim's "
+                               "last checkpoint")
+    p_worker.add_argument("--deadline", type=float, default=None,
+                          metavar="SECS",
+                          help="per-job wall-clock budget; blowing it "
+                               "descends the degradation ladder "
+                               "(full > basic > top1 > unadapted) "
+                               "instead of failing")
+    p_worker.add_argument("--rss-budget", type=int, default=None,
+                          metavar="MB",
+                          help="per-job RSS budget; an OOM blowout also "
+                               "walks the degradation ladder")
+    p_worker.add_argument("--inject", action="append", default=None,
+                          metavar="SITE[:PROB[:TIMES]]",
+                          help="arm the fault-injection harness in this "
+                               "worker (repeatable; service sites: "
+                               "worker.crash, backend.put.partial, ...)")
+    p_worker.add_argument("--inject-seed", type=int, default=0,
+                          metavar="N",
+                          help="seed for the deterministic fault "
+                               "injector (default: 0)")
     _add_service_root_options(p_worker)
 
     p_top = sub.add_parser(
@@ -514,9 +608,21 @@ def _service_command(argv: List[str]) -> int:
         print(f"batch {batch_id}: {len(manifest['hashes'])} unique "
               f"spec(s), {manifest['enqueued']} enqueued, "
               f"{manifest['cached_at_submit']} already cached")
+        if args.wait:
+            return _wait_exit(client, batch_id, args.deadline,
+                              inline=True)
         print(f"poll with: ssp-postpass service status {batch_id} "
               f"--root {config.root}")
         return EXIT_OK
+
+    if args.action == "wait":
+        client = ServiceClient(config=config)
+        try:
+            return _wait_exit(client, args.batch_id, args.deadline,
+                              inline=not args.no_worker)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return EXIT_FAILURE
 
     if args.action == "status":
         client = ServiceClient(config=config)
@@ -529,7 +635,12 @@ def _service_command(argv: List[str]) -> int:
             print(json.dumps(status, indent=2, sort_keys=True))
         else:
             _print_batch_status(status)
-        return EXIT_OK if status["complete"] else EXIT_FAILURE
+        if not status["complete"]:
+            return EXIT_FAILURE
+        if status.get("poisoned"):
+            _print_poisoned(client, status)
+            return EXIT_POISONED
+        return EXIT_OK
 
     if args.action == "fetch":
         client = ServiceClient(config=config)
@@ -558,15 +669,47 @@ def _service_command(argv: List[str]) -> int:
         return EXIT_OK if not failures else EXIT_FAILURE
 
     if args.action == "worker":
-        worker = ServiceWorker(config.make_queue(),
-                               config.make_backend())
-        processed = worker.drain(max_jobs=args.max_jobs,
-                                 idle_exit=args.idle_exit)
-        summary_path = worker.write_summary()
+        injector = None
+        if args.inject:
+            if "list" in args.inject:
+                for line in describe_sites():
+                    print(line)
+                return EXIT_OK
+            try:
+                specs = [FaultSpec.parse(text) for text in args.inject]
+            except ValueError as exc:
+                print(f"--inject: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+            injector = faultinject.install(
+                FaultInjector(specs, seed=args.inject_seed))
+        resilience = None
+        if (args.checkpoint_every is not None
+                or args.deadline is not None
+                or args.rss_budget is not None):
+            from ..resilience import ResilienceConfig
+            resilience = ResilienceConfig(
+                deadline=args.deadline,
+                checkpoint_every=args.checkpoint_every,
+                rss_budget_mb=args.rss_budget)
+        try:
+            worker = ServiceWorker(config.make_queue(),
+                                   config.make_backend(),
+                                   resilience=resilience)
+            processed = worker.drain(max_jobs=args.max_jobs,
+                                     idle_exit=args.idle_exit)
+            summary_path = worker.write_summary()
+        finally:
+            if injector is not None:
+                faultinject.uninstall()
         print(f"worker {worker.worker_id}: {processed} job(s) — "
               f"{worker.executed} executed, {worker.deduped} deduped, "
               f"{worker.failures} failed, {worker.requeues} requeued, "
-              f"{worker.stolen} stolen lease(s)")
+              f"{worker.stolen} stolen lease(s), {worker.degraded} "
+              f"degraded, {worker.resumes} resumed")
+        if injector is not None and injector.fired:
+            fired = "  ".join(f"{site}={count}" for site, count
+                              in sorted(injector.fired.items()))
+            print(f"faults injected: {fired}")
         print(f"summary written to {summary_path}")
         return EXIT_OK
 
@@ -601,8 +744,11 @@ def _service_command(argv: List[str]) -> int:
     print(f"queue: reaped {reaped} record(s); cache: evicted {evicted} "
           f"entr{'y' if evicted == 1 else 'ies'}")
     counts = queue.counts()
-    print(f"queue now: {counts['pending']} pending, {counts['leased']} "
-          f"leased, {counts['done']} done, {counts['failed']} failed")
+    line = (f"queue now: {counts['pending']} pending, {counts['leased']} "
+            f"leased, {counts['done']} done, {counts['failed']} failed")
+    if counts.get("poisoned"):
+        line += f", {counts['poisoned']} POISONED"
+    print(line)
     return EXIT_OK
 
 

@@ -22,6 +22,11 @@ PIPELINE_SITES = ("slice.exception", "schedule.negative_slack",
 RUNNER_SITES = ("runner.worker_crash", "runner.worker_timeout")
 CACHE_SITES = ("cache.corrupt", "cache.truncate")
 RESILIENCE_SITES = ("checkpoint.corrupt", "worker.hang", "worker.oom")
+# Service-plane sites (fleet chaos); exercised end to end in
+# tests/test_service_chaos.py, registry-checked here.
+SERVICE_SITES = ("queue.lease.corrupt", "queue.steal.race",
+                 "worker.crash", "worker.summary.torn",
+                 "backend.put.partial", "backend.read.ioerror")
 
 
 @pytest.fixture(autouse=True)
@@ -35,7 +40,7 @@ def _fresh_artifacts():
 
 def test_site_registry_is_complete():
     assert set(SITES) == set(PIPELINE_SITES + RUNNER_SITES + CACHE_SITES
-                             + RESILIENCE_SITES)
+                             + RESILIENCE_SITES + SERVICE_SITES)
     assert len(describe_sites()) == len(SITES)
 
 

@@ -128,7 +128,7 @@ class TestLifecycle:
         assert record["attempts"] == 1
         assert queue.counts() == {"pending": 0, "leased": 0,
                                   "stale_leases": 0, "done": 1,
-                                  "failed": 0}
+                                  "failed": 0, "poisoned": 0}
 
     def test_fail_requeues_until_budget_exhausted(self, tmp_path):
         queue = JobQueue(tmp_path / "svc", max_attempts=2)
